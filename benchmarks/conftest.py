@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the pytest-benchmark suite.
+
+Every module in this directory regenerates one figure of the paper at a
+benchmark-friendly size (a few thousand objects, a couple of hundred
+queries) and asserts the figure's *qualitative* claim.  The full-size
+series are produced by ``python -m repro.bench <figure>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import make_system, measure_cycles
+from repro.motion import RandomWalkModel, make_dataset, make_queries
+
+# Benchmark-scale reference workload.
+NP = 8_000
+NQ = 200
+K = 10
+VMAX = 0.005
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def uniform_positions():
+    return make_dataset("uniform", NP, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def skewed_positions():
+    return make_dataset("skewed", NP, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    return make_queries(NQ, seed=SEED + 1)
+
+
+def cycle_time(method: str, positions: np.ndarray, queries: np.ndarray,
+               k: int = K, vmax: float = VMAX, cycles: int = 2, **kwargs):
+    """Mean cycle timing for one method on a given workload."""
+    system = make_system(method, k, queries, **kwargs)
+    motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
+    return measure_cycles(system, positions, motion, cycles=cycles)
+
+
+def run_one_cycle(method: str, positions: np.ndarray, queries: np.ndarray,
+                  k: int = K, vmax: float = VMAX, **kwargs):
+    """A closure suitable for the ``benchmark`` fixture: one full cycle.
+
+    The system is loaded once outside the timed region; the timed callable
+    performs maintenance + answering for a fresh motion step.
+    """
+    system = make_system(method, k, queries, **kwargs)
+    system.load(positions)
+    motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
+    state = {"positions": positions}
+
+    def one_cycle():
+        state["positions"] = motion.step(state["positions"])
+        system.tick(state["positions"])
+
+    return one_cycle

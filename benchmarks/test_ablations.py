@@ -1,0 +1,90 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchical import HierarchicalObjectIndex
+
+from conftest import cycle_time, run_one_cycle
+
+
+@pytest.mark.parametrize("delta0", [0.5, 0.1, 0.05])
+def test_hier_delta0(benchmark, skewed_positions, queries, delta0):
+    benchmark(run_one_cycle("hierarchical", skewed_positions, queries, delta0=delta0))
+
+
+def test_hier_delta0_robustness(skewed_positions, queries):
+    """§4: the hierarchical index is robust to its (coarse) initial cell
+    size — variation stays within a small factor."""
+    times = [
+        cycle_time(
+            "hierarchical", skewed_positions, queries, cycles=3, delta0=delta0
+        ).total_time
+        for delta0 in (0.5, 0.25, 0.1, 0.05)
+    ]
+    assert max(times) < min(times) * 5
+
+
+@pytest.mark.parametrize("nc,m", [(5, 3), (10, 3), (20, 3), (10, 2), (10, 4)])
+def test_hier_params(benchmark, skewed_positions, queries, nc, m):
+    benchmark(
+        run_one_cycle(
+            "hierarchical",
+            skewed_positions,
+            queries,
+            max_cell_load=nc,
+            split_factor=m,
+        )
+    )
+
+
+def test_hier_small_nc_costs_memory(skewed_positions):
+    """Smaller max cell loads buy resolution with more cells."""
+    def cells(nc):
+        index = HierarchicalObjectIndex(delta0=0.1, max_cell_load=nc)
+        index.build(skewed_positions)
+        return sum(index.cell_counts())
+
+    assert cells(5) > cells(20)
+
+
+@pytest.mark.parametrize("sorted_cells", [False, True])
+def test_container_choice(benchmark, uniform_positions, queries, sorted_cells):
+    """§3.2 container ablation: sorted vs plain per-cell lists."""
+    import numpy as np
+
+    from repro.core.object_index import ObjectIndex
+    from repro.motion import RandomWalkModel
+
+    index = ObjectIndex(n_objects=len(uniform_positions), sorted_cells=sorted_cells)
+    index.build(uniform_positions)
+    motion = RandomWalkModel(vmax=0.005, seed=99)
+    state = {"positions": uniform_positions}
+
+    def update():
+        state["positions"] = motion.step(state["positions"])
+        index.update(state["positions"])
+
+    benchmark(update)
+
+
+def test_strict_vs_tight_rcrit(skewed_positions, queries):
+    """Critical-rectangle ablation: the paper's cell-centred Rcrit vs the
+    tighter disc-covering rectangle — both exact, tight never slower by
+    much (it scans a subset of the cells)."""
+    import time
+
+    from repro.core.object_index import ObjectIndex
+
+    def answer_time(strict):
+        index = ObjectIndex(n_objects=len(skewed_positions), strict_paper_rcrit=strict)
+        index.build(skewed_positions)
+        start = time.perf_counter()
+        for qx, qy in queries:
+            index.knn_overhaul(qx, qy, 10)
+        return time.perf_counter() - start
+
+    tight = answer_time(False)
+    strict = answer_time(True)
+    assert tight < strict * 1.5

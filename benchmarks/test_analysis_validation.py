@@ -1,0 +1,72 @@
+"""§3 analysis validation — Theorem 1, Pr(exit), and the brute-force floor."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.cost_model import (
+    expected_knn_radius_uniform,
+    optimal_cell_size,
+    pr_exit,
+)
+from repro.core.object_index import ObjectIndex
+from repro.motion import RandomWalkModel, make_dataset
+
+from conftest import K, NP, SEED, queries
+
+
+def test_brute_force_floor(benchmark, uniform_positions, queries):
+    def answer_all():
+        for qx, qy in queries:
+            brute_force_knn(uniform_positions, qx, qy, K)
+
+    benchmark(answer_all)
+
+
+def test_theorem1_lcrit_prediction(uniform_positions):
+    """lcrit measured on uniform data matches sqrt(k / (pi NP))."""
+    index = ObjectIndex(n_objects=NP)
+    index.build(uniform_positions)
+    rng = np.random.default_rng(SEED)
+    radii = []
+    for _ in range(200):
+        qx, qy = rng.random(2)
+        answer = index.knn_overhaul(qx, qy, K)
+        radii.append(answer.kth_dist())
+    measured = float(np.mean(radii))
+    predicted = expected_knn_radius_uniform(K, NP)
+    assert measured == pytest.approx(predicted, rel=0.15)
+
+
+def test_theorem1_optimal_cell_size_beats_neighbors(uniform_positions, queries):
+    """Per-query answering near delta* is no worse than far-off settings."""
+    optimal = int(round(1.0 / optimal_cell_size(NP)))
+
+    def answer_time(ncells):
+        import time
+
+        index = ObjectIndex(ncells=ncells)
+        index.build(uniform_positions)
+        start = time.perf_counter()
+        for qx, qy in queries:
+            index.knn_overhaul(qx, qy, K)
+        return time.perf_counter() - start
+
+    assert answer_time(optimal) < answer_time(max(2, optimal // 16)) * 1.5
+    assert answer_time(optimal) < answer_time(optimal * 16) * 1.5
+
+
+def test_pr_exit_predicts_measured_moves(uniform_positions):
+    """The closed-form Pr(exit) predicts the measured mover fraction."""
+    index = ObjectIndex(n_objects=NP)
+    index.build(uniform_positions)
+    vmax = 0.01
+    motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
+    moves = index.update(motion.step(uniform_positions))
+    predicted = pr_exit(index.delta, vmax)
+    measured = moves / NP
+    assert measured == pytest.approx(predicted, abs=0.05)

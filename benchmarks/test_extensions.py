@@ -1,0 +1,177 @@
+"""Benchmarks for the §6 future-work extensions (RkNN, GNN, join, range)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gnn import GNNMonitor
+from repro.core.object_index import ObjectIndex
+from repro.core.range_monitor import CircleRegion, RangeMonitor, RectRegion
+from repro.core.rknn import RKNNMonitor
+from repro.core.self_join import SelfJoinMonitor
+from repro.motion import RandomWalkModel, make_dataset, make_queries
+
+from conftest import SEED
+
+N_OBJECTS = 3_000
+
+
+@pytest.fixture(scope="module")
+def positions():
+    return make_dataset("skewed", N_OBJECTS, seed=SEED)
+
+
+def test_self_join_cycle(benchmark, positions):
+    monitor = SelfJoinMonitor(5)
+    monitor.tick(positions)  # warm start: later cycles run incrementally
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": positions}
+
+    def cycle():
+        state["positions"] = motion.step(state["positions"])
+        monitor.tick(state["positions"])
+
+    benchmark(cycle)
+
+
+def test_self_join_incremental_beats_overhaul(positions):
+    """The §3.2 incremental trick pays off for the self-join too."""
+    import time
+
+    def run(incremental):
+        monitor = SelfJoinMonitor(5, incremental=incremental)
+        motion = RandomWalkModel(vmax=0.003, seed=SEED + 2)
+        current = positions
+        monitor.tick(current)
+        start = time.perf_counter()
+        for _ in range(3):
+            current = motion.step(current)
+            monitor.tick(current)
+        return time.perf_counter() - start
+
+    assert run(True) < run(False)
+
+
+def test_rknn_cycle(benchmark, positions):
+    queries = make_queries(20, seed=SEED + 1)
+    monitor = RKNNMonitor(5, queries)
+    monitor.tick(positions)
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": positions}
+
+    def cycle():
+        state["positions"] = motion.step(state["positions"])
+        monitor.tick(state["positions"])
+
+    benchmark(cycle)
+
+
+def test_gnn_cycle(benchmark, positions):
+    groups = [make_queries(4, seed=SEED + g) for g in range(10)]
+    monitor = GNNMonitor(5, groups, aggregate="sum")
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": positions}
+
+    def cycle():
+        state["positions"] = motion.step(state["positions"])
+        monitor.tick(state["positions"])
+
+    benchmark(cycle)
+
+
+def test_gnn_beats_brute_force(positions):
+    """The centroid-pruned search beats scanning every object for a
+    localized group (friends meeting downtown).  Widely dispersed groups
+    weaken the centroid bound toward a full scan — inherent to GNN."""
+    import time
+
+    from repro.core.gnn import GroupQuery, brute_force_group_knn, group_knn
+
+    rng = np.random.default_rng(SEED)
+    anchor = rng.random(2) * 0.8 + 0.1
+    group_points = np.clip(
+        anchor + rng.uniform(-0.05, 0.05, size=(4, 2)), 0.0, 1.0 - 1e-9
+    )
+    index = ObjectIndex(n_objects=len(positions))
+    index.build(positions)
+    group = GroupQuery(group_points)
+
+    start = time.perf_counter()
+    for _ in range(20):
+        group_knn(index, group, 5, "sum")
+    pruned = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(20):
+        brute_force_group_knn(positions, group_points, 5, "sum")
+    brute = time.perf_counter() - start
+    assert pruned < brute
+
+
+def test_knn_join_cycle(benchmark, positions):
+    from repro.core.knn_join import KNNJoinMonitor
+
+    taxis = make_dataset("uniform", 200, seed=SEED + 5)
+    join = KNNJoinMonitor(5)
+    join.tick(taxis, positions)  # warm start for the incremental path
+    motion_a = RandomWalkModel(vmax=0.005, seed=SEED + 6)
+    motion_b = RandomWalkModel(vmax=0.005, seed=SEED + 7)
+    state = {"a": taxis, "b": positions}
+
+    def cycle():
+        state["a"] = motion_a.step(state["a"])
+        state["b"] = motion_b.step(state["b"])
+        join.tick(state["a"], state["b"])
+
+    benchmark(cycle)
+
+
+def test_knn_join_closest_pairs_exact(positions):
+    from repro.core.knn_join import KNNJoinMonitor
+
+    taxis = make_dataset("uniform", 100, seed=SEED + 5)
+    join = KNNJoinMonitor(3)
+    join.tick(taxis, positions)
+    pairs = join.closest_pairs(3)
+    diffs = taxis[:, None, :] - positions[None, :, :]
+    all_d = np.sort(np.sqrt(np.sum(diffs * diffs, axis=2)), axis=None)
+    got = [round(d, 12) for _, _, d in pairs]
+    want = [round(float(d), 12) for d in all_d[:3]]
+    assert got == want
+
+
+def test_range_monitor_cycle(benchmark, positions):
+    regions = [
+        RectRegion(0.1, 0.1, 0.3, 0.3),
+        CircleRegion(0.5, 0.5, 0.1),
+        RectRegion(0.6, 0.2, 0.9, 0.4),
+        CircleRegion(0.2, 0.8, 0.15),
+    ]
+    monitor = RangeMonitor(regions)
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": positions}
+
+    def cycle():
+        state["positions"] = motion.step(state["positions"])
+        monitor.tick(state["positions"])
+
+    benchmark(cycle)
+
+
+def test_range_monitor_beats_brute(positions):
+    """The query grid avoids testing every object against every region."""
+    import time
+
+    from repro.core.range_monitor import brute_force_range
+
+    regions = [CircleRegion(0.1 * i, 0.1 * i, 0.05) for i in range(1, 9)]
+    monitor = RangeMonitor(regions)
+    start = time.perf_counter()
+    for _ in range(5):
+        monitor.tick(positions)
+    gridded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(5):
+        brute_force_range(positions, regions)
+    brute = time.perf_counter() - start
+    assert gridded < brute

@@ -1,0 +1,28 @@
+"""Fig. 10 — road-network simulation (synthetic Illinois substitute)."""
+
+from __future__ import annotations
+
+from repro.motion import make_dataset, skewness_statistic
+from repro.roadnet import RoadNetworkModel, roadnet_dataset, synthetic_road_network
+
+from conftest import SEED
+
+N_ROAD = 2_000
+
+
+def test_network_generation(benchmark):
+    network = benchmark(synthetic_road_network, 20, 0.25, 0.85, None, SEED)
+    assert network.is_connected()
+
+
+def test_simulation_step(benchmark):
+    model = RoadNetworkModel(N_ROAD, seed=SEED)
+    benchmark(model.step)
+
+
+def test_fig10_skew_between_uniform_and_clusters():
+    """Fig. 17's characterisation of the road data's skew level."""
+    road = skewness_statistic(roadnet_dataset(N_ROAD, warmup_cycles=30, seed=SEED))
+    uniform = skewness_statistic(make_dataset("uniform", N_ROAD, seed=SEED))
+    skewed = skewness_statistic(make_dataset("skewed", N_ROAD, seed=SEED))
+    assert uniform < road < skewed

@@ -1,0 +1,57 @@
+"""Fig. 11 — overhaul Object-Indexing: linear in NQ, build linear in NP,
+query answering ~constant in NP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_model import linearity_r2
+from repro.core.object_index import ObjectIndex
+from repro.motion import make_dataset, make_queries
+
+from conftest import K, NP, SEED, cycle_time
+
+
+def test_index_build(benchmark, uniform_positions):
+    index = ObjectIndex(n_objects=NP)
+    benchmark(index.build, uniform_positions)
+    assert index.n_objects == NP
+
+
+def test_query_answering(benchmark, uniform_positions, queries):
+    index = ObjectIndex(n_objects=NP)
+    index.build(uniform_positions)
+
+    def answer_all():
+        for qx, qy in queries:
+            index.knn_overhaul(qx, qy, K)
+
+    benchmark(answer_all)
+
+
+def test_fig11a_linear_in_nq(uniform_positions):
+    """Fig. 11(a): total time linear in NQ."""
+    times = []
+    nqs = [50, 100, 200, 400]
+    for nq in nqs:
+        timing = cycle_time(
+            "object_overhaul", uniform_positions, make_queries(nq, seed=SEED + 1)
+        )
+        times.append(timing.total_time)
+    assert linearity_r2(nqs, times) > 0.9
+
+
+def test_fig11b_answering_constant_in_np(queries):
+    """Fig. 11(b): answer time nearly flat while NP quadruples."""
+    answer_times = []
+    index_times = []
+    nps = [NP // 4, NP, NP * 4]
+    for n in nps:
+        timing = cycle_time(
+            "object_overhaul", make_dataset("uniform", n, seed=SEED), queries
+        )
+        answer_times.append(timing.answer_time)
+        index_times.append(timing.index_time)
+    # Build time grows clearly with NP; answering stays within a small factor.
+    assert index_times[-1] > index_times[0] * 4
+    assert max(answer_times) < min(answer_times) * 3

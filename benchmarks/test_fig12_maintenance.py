@@ -1,0 +1,56 @@
+"""Fig. 12 — overhaul vs incremental Object-Index maintenance vs velocity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.object_index import ObjectIndex
+from repro.motion import RandomWalkModel
+
+from conftest import NP, SEED, cycle_time
+
+
+@pytest.mark.parametrize("vmax", [0.0005, 0.005])
+def test_incremental_update(benchmark, uniform_positions, vmax):
+    index = ObjectIndex(n_objects=NP)
+    index.build(uniform_positions)
+    motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
+    state = {"positions": uniform_positions}
+
+    def update():
+        state["positions"] = motion.step(state["positions"])
+        index.update(state["positions"])
+
+    benchmark(update)
+
+
+def test_overhaul_rebuild(benchmark, uniform_positions):
+    index = ObjectIndex(n_objects=NP)
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": uniform_positions}
+
+    def rebuild():
+        state["positions"] = motion.step(state["positions"])
+        index.build(state["positions"])
+
+    benchmark(rebuild)
+
+
+def test_fig12_incremental_grows_with_velocity(uniform_positions, queries):
+    """Fig. 12: incremental maintenance cost increases with vmax while
+    overhaul stays flat."""
+    incr_slow = cycle_time(
+        "object_incremental", uniform_positions, queries, vmax=0.0005, cycles=5
+    ).index_time
+    incr_fast = cycle_time(
+        "object_incremental", uniform_positions, queries, vmax=0.02, cycles=5
+    ).index_time
+    over_slow = cycle_time(
+        "object_overhaul", uniform_positions, queries, vmax=0.0005, cycles=5
+    ).index_time
+    over_fast = cycle_time(
+        "object_overhaul", uniform_positions, queries, vmax=0.02, cycles=5
+    ).index_time
+    assert incr_fast > incr_slow * 2
+    # Rebuild cost does not depend on velocity (allow generous timing noise).
+    assert over_fast < over_slow * 3

@@ -1,0 +1,45 @@
+"""Fig. 13 — incremental query answering with the Object-Index vs NP."""
+
+from __future__ import annotations
+
+from repro.core.object_index import ObjectIndex
+from repro.motion import RandomWalkModel, make_dataset
+
+from conftest import K, NP, SEED, cycle_time
+
+
+def test_incremental_answering(benchmark, uniform_positions, queries):
+    index = ObjectIndex(n_objects=NP)
+    index.build(uniform_positions)
+    previous = {
+        i: index.knn_overhaul(qx, qy, K).object_ids()
+        for i, (qx, qy) in enumerate(queries)
+    }
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    moved = motion.step(uniform_positions)
+    index.update(moved)
+
+    def answer_all():
+        for i, (qx, qy) in enumerate(queries):
+            previous[i] = index.knn_incremental(qx, qy, K, previous[i]).object_ids()
+
+    benchmark(answer_all)
+
+
+def test_fig13_cost_grows_with_np(queries):
+    """Fig. 13: incremental answering cost rises with NP (between sqrt
+    and linear growth)."""
+    times = []
+    nps = [NP // 4, NP * 8]
+    for n in nps:
+        timing = cycle_time(
+            "object_incremental",
+            make_dataset("uniform", n, seed=SEED),
+            queries,
+            cycles=4,
+        )
+        times.append(timing.answer_time)
+    growth = times[-1] / times[0]
+    # 32x more objects: super-constant but sub-linear growth expected
+    # (between the fixed per-query floor and the O(NP) worst case).
+    assert 1.1 < growth < 32.0

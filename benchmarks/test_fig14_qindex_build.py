@@ -1,0 +1,47 @@
+"""Fig. 14 — Query-Index build/maintenance time vs NP."""
+
+from __future__ import annotations
+
+from repro.core.query_index import QueryIndex
+from repro.motion import RandomWalkModel, make_dataset
+
+from conftest import K, NP, SEED, cycle_time
+
+
+def test_query_index_rebuild(benchmark, uniform_positions, queries):
+    index = QueryIndex(queries, K, n_objects=NP)
+    index.bootstrap(uniform_positions)
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": uniform_positions}
+
+    def rebuild():
+        state["positions"] = motion.step(state["positions"])
+        index.rebuild_index(state["positions"])
+        index.answer(state["positions"])
+
+    benchmark(rebuild)
+
+
+def test_query_index_incremental_update(benchmark, uniform_positions, queries):
+    index = QueryIndex(queries, K, n_objects=NP)
+    index.bootstrap(uniform_positions)
+    motion = RandomWalkModel(vmax=0.005, seed=SEED + 2)
+    state = {"positions": uniform_positions}
+
+    def update():
+        state["positions"] = motion.step(state["positions"])
+        index.update_index(state["positions"])
+        index.answer(state["positions"])
+
+    benchmark(update)
+
+
+def test_fig14_build_grows_sublinearly(queries):
+    """Fig. 14: maintenance time rises with NP but slower than linearly."""
+    times = []
+    for n in (NP // 4, NP * 4):
+        timing = cycle_time(
+            "query_indexing_rebuild", make_dataset("uniform", n, seed=SEED), queries
+        )
+        times.append(timing.index_time)
+    assert times[-1] < times[0] * 16

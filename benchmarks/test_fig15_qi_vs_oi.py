@@ -1,0 +1,25 @@
+"""Fig. 15 — Query-Indexing vs Object-Indexing as NQ grows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion import make_queries
+
+from conftest import SEED, cycle_time, run_one_cycle
+
+
+@pytest.mark.parametrize("method", ["query_indexing", "object_overhaul"])
+def test_cycle(benchmark, uniform_positions, queries, method):
+    benchmark(run_one_cycle(method, uniform_positions, queries))
+
+
+def test_fig15_qi_wins_for_few_queries(uniform_positions):
+    """Fig. 15: with very few queries QI avoids the object-index build and
+    must win — the paper's stated reason for the small-NQ regime.  (The
+    exact crossover location is measured by `python -m repro.bench fig15`;
+    at benchmark scale only the small-NQ ordering is asserted.)"""
+    few = make_queries(10, seed=SEED + 1)
+    qi_few = cycle_time("query_indexing", uniform_positions, few, cycles=3).total_time
+    oi_few = cycle_time("object_overhaul", uniform_positions, few, cycles=3).total_time
+    assert qi_few < oi_few

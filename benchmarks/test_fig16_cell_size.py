@@ -1,0 +1,36 @@
+"""Fig. 16 — effect of the grid cell size; optimum near delta = 1/sqrt(NP)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import NP, cycle_time
+
+OPTIMAL = int(round(math.sqrt(NP)))
+
+
+@pytest.mark.parametrize("ncells", [OPTIMAL // 8, OPTIMAL, OPTIMAL * 8])
+def test_cell_size_sweep(benchmark, uniform_positions, queries, ncells):
+    from conftest import run_one_cycle
+
+    benchmark(
+        run_one_cycle("object_overhaul", uniform_positions, queries, ncells=ncells)
+    )
+
+
+def test_fig16_optimum_near_sqrt_np(uniform_positions, queries):
+    """Fig. 16: too-coarse and too-fine grids both lose to delta*."""
+    at_optimal = cycle_time(
+        "object_overhaul", uniform_positions, queries, ncells=OPTIMAL, cycles=3
+    ).total_time
+    too_coarse = cycle_time(
+        "object_overhaul", uniform_positions, queries, ncells=max(2, OPTIMAL // 10),
+        cycles=3,
+    ).total_time
+    too_fine = cycle_time(
+        "object_overhaul", uniform_positions, queries, ncells=OPTIMAL * 10, cycles=3
+    ).total_time
+    assert at_optimal < too_coarse
+    assert at_optimal < too_fine

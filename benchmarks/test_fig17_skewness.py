@@ -1,0 +1,47 @@
+"""Fig. 17 — effect of data skew on all five index structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion import make_dataset
+
+from conftest import NP, SEED, cycle_time, run_one_cycle
+
+METHODS = [
+    "hierarchical",
+    "object_overhaul",
+    "query_indexing",
+    "rtree_overhaul",
+    "rtree_bottom_up",
+]
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_cycle_on_skewed(benchmark, skewed_positions, queries, method):
+    benchmark(run_one_cycle(method, skewed_positions, queries))
+
+
+def test_fig17_hierarchical_robust_to_skew(queries):
+    """Fig. 17: the hierarchical index degrades less with skew than the
+    one-level index."""
+    uniform = make_dataset("uniform", NP, seed=SEED)
+    hi = make_dataset("hi_skewed", NP, seed=SEED)
+    one_uniform = cycle_time("object_overhaul", uniform, queries).total_time
+    one_hi = cycle_time("object_overhaul", hi, queries).total_time
+    hier_uniform = cycle_time("hierarchical", uniform, queries).total_time
+    hier_hi = cycle_time("hierarchical", hi, queries).total_time
+    assert hier_hi / hier_uniform < one_hi / one_uniform
+
+
+def test_fig17_grids_beat_rtree_on_skew(skewed_positions):
+    """Fig. 17/18: every grid method beats the R-tree baselines once the
+    query workload is non-trivial (the paper uses NQ=5000)."""
+    from repro.motion import make_queries
+
+    many_queries = make_queries(500, seed=SEED + 1)
+    rtree = cycle_time("rtree_overhaul", skewed_positions, many_queries).total_time
+    for method in ("hierarchical", "object_overhaul", "query_indexing"):
+        assert (
+            cycle_time(method, skewed_positions, many_queries).total_time < rtree
+        )

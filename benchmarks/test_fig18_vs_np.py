@@ -1,0 +1,44 @@
+"""Fig. 18 — performance vs population size NP (skewed data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion import make_dataset
+
+from conftest import NP, SEED, cycle_time, run_one_cycle
+
+GRID_METHODS = ["query_indexing", "object_overhaul", "hierarchical"]
+RTREE_METHODS = ["rtree_overhaul", "rtree_bottom_up"]
+
+
+@pytest.mark.parametrize("method", GRID_METHODS + RTREE_METHODS)
+@pytest.mark.parametrize("n", [NP // 4, NP])
+def test_cycle_vs_np(benchmark, queries, method, n):
+    positions = make_dataset("skewed", n, seed=SEED)
+    benchmark(run_one_cycle(method, positions, queries))
+
+
+def test_fig18a_hierarchical_scales(queries):
+    """Fig. 18(a): hierarchical total time grows sub-quadratically (near
+    linear) in NP."""
+    small = cycle_time(
+        "hierarchical", make_dataset("skewed", NP // 4, seed=SEED), queries
+    ).total_time
+    large = cycle_time(
+        "hierarchical", make_dataset("skewed", NP * 2, seed=SEED), queries
+    ).total_time
+    assert large < small * 8  # 8x NP -> clearly sub-quadratic growth
+
+
+def test_fig18b_grids_beat_rtrees_increasingly(queries):
+    """Fig. 18: the R-tree/grid gap widens with NP, with the grid ahead
+    once the population is non-trivial."""
+    gaps = []
+    for n in (NP // 4, NP * 2):
+        positions = make_dataset("skewed", n, seed=SEED)
+        grid = cycle_time("object_overhaul", positions, queries, cycles=3).total_time
+        rtree = cycle_time("rtree_overhaul", positions, queries, cycles=3).total_time
+        gaps.append(rtree / grid)
+    assert gaps[1] > gaps[0]
+    assert gaps[1] > 1.0

@@ -1,0 +1,62 @@
+"""Fig. 19 — performance vs number of queries NQ (skewed data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motion import make_queries
+
+from conftest import SEED, cycle_time, run_one_cycle
+
+
+@pytest.mark.parametrize("method", ["query_indexing", "object_overhaul", "hierarchical"])
+@pytest.mark.parametrize("nq", [50, 200])
+def test_grid_cycle_vs_nq(benchmark, skewed_positions, method, nq):
+    queries = make_queries(nq, seed=SEED + 1)
+    benchmark(run_one_cycle(method, skewed_positions, queries))
+
+
+@pytest.mark.parametrize("method", ["rtree_overhaul", "rtree_bottom_up"])
+def test_rtree_cycle(benchmark, skewed_positions, queries, method):
+    benchmark(run_one_cycle(method, skewed_positions, queries))
+
+
+def test_fig19a_qi_wins_small_workloads(skewed_positions):
+    """Fig. 19(a): Query-Indexing gives the best performance for small
+    query workloads."""
+    few = make_queries(20, seed=SEED + 1)
+    qi = cycle_time("query_indexing", skewed_positions, few).total_time
+    oi = cycle_time("object_overhaul", skewed_positions, few).total_time
+    hier = cycle_time("hierarchical", skewed_positions, few).total_time
+    assert qi < oi
+    assert qi < hier
+
+
+def test_fig19b_bottom_up_loses_ground_with_np(queries):
+    """Fig. 18(b)/19(b): bottom-up beats insertion rebuild "for relatively
+    small populations only" — its relative advantage shrinks as NP grows
+    (the full crossover lies beyond benchmark-scale populations; see
+    EXPERIMENTS.md)."""
+    from repro.motion import make_dataset
+
+    from conftest import NP, SEED
+
+    ratios = []
+    for n in (NP // 4, NP * 2):
+        positions = make_dataset("skewed", n, seed=SEED)
+        overhaul = cycle_time(
+            "rtree_overhaul", positions, queries, cycles=2
+        ).index_time
+        bottom_up = cycle_time(
+            "rtree_bottom_up", positions, queries, cycles=2
+        ).index_time
+        ratios.append(bottom_up / overhaul)
+    assert ratios[1] > ratios[0]
+
+
+def test_fig19b_bottom_up_maintenance_not_free(skewed_positions, queries):
+    """Fig. 19(b) driver: bottom-up maintenance costs far more than a
+    packed rebuild, so it cannot win once rebuilds are cheap."""
+    bottom_up = cycle_time("rtree_bottom_up", skewed_positions, queries).index_time
+    str_bulk = cycle_time("rtree_str_bulk", skewed_positions, queries).index_time
+    assert bottom_up > str_bulk * 2

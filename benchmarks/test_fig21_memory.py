@@ -1,0 +1,51 @@
+"""Fig. 21 — memory footprint of the hierarchical object-index."""
+
+from __future__ import annotations
+
+from repro.core.cost_model import linearity_r2
+from repro.core.hierarchical import HierarchicalObjectIndex
+from repro.motion import DispersionProcess, make_dataset
+
+from conftest import NP, SEED
+
+
+def build_index(positions):
+    index = HierarchicalObjectIndex(delta0=0.1, max_cell_load=10, split_factor=3)
+    index.build(positions)
+    return index
+
+
+def test_hierarchical_build(benchmark, skewed_positions):
+    index = benchmark(build_index, skewed_positions)
+    assert index.n_objects == NP
+
+
+def test_fig21a_cells_linear_in_np():
+    """Fig. 21(a): index and leaf cell counts are linear in NP."""
+    nps = [NP // 4, NP // 2, NP, NP * 2]
+    index_cells = []
+    leaf_cells = []
+    for n in nps:
+        index = build_index(make_dataset("skewed", n, seed=SEED))
+        ic, lc = index.cell_counts()
+        index_cells.append(ic)
+        leaf_cells.append(lc)
+    assert linearity_r2(nps, index_cells) > 0.9
+    assert linearity_r2(nps, leaf_cells) > 0.9
+
+
+def test_fig21b_dispersion_shrinks_footprint():
+    """Fig. 21(b): cell counts decrease as clusters disperse, converging
+    toward the uniform-data footprint."""
+    steps = 8
+    process = DispersionProcess(NP, steps=steps, seed=SEED)
+    index = build_index(process.positions_at(0))
+    totals = [sum(index.cell_counts())]
+    for step in range(1, steps + 1):
+        index.update(process.positions_at(step))
+        totals.append(sum(index.cell_counts()))
+    uniform_total = sum(
+        build_index(make_dataset("uniform", NP, seed=SEED)).cell_counts()
+    )
+    assert totals[-1] < totals[0]
+    assert totals[-1] <= uniform_total * 2

@@ -1,0 +1,81 @@
+"""Fig. 22 — effect of object velocity on maintenance and answering."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import cycle_time, run_one_cycle
+
+SLOW = 0.0005
+FAST = 0.02
+
+
+@pytest.mark.parametrize("vmax", [SLOW, FAST])
+@pytest.mark.parametrize(
+    "method", ["object_incremental", "query_indexing", "hierarchical_incremental"]
+)
+def test_cycle_vs_velocity(benchmark, skewed_positions, queries, method, vmax):
+    benchmark(run_one_cycle(method, skewed_positions, queries, vmax=vmax))
+
+
+def test_fig22a_one_level_incremental_grows(skewed_positions, queries):
+    """Fig. 22(a): one-level incremental maintenance grows with velocity;
+    rebuild does not."""
+    incr_slow = cycle_time(
+        "object_incremental", skewed_positions, queries, vmax=SLOW, cycles=5
+    ).index_time
+    incr_fast = cycle_time(
+        "object_incremental", skewed_positions, queries, vmax=FAST, cycles=5
+    ).index_time
+    rebuild_slow = cycle_time(
+        "object_overhaul", skewed_positions, queries, vmax=SLOW, cycles=5
+    ).index_time
+    rebuild_fast = cycle_time(
+        "object_overhaul", skewed_positions, queries, vmax=FAST, cycles=5
+    ).index_time
+    assert incr_fast > incr_slow
+    # Rebuild cost does not depend on velocity (allow generous timing noise).
+    assert rebuild_fast < rebuild_slow * 3
+
+
+def test_fig22a_hier_incremental_never_preferred(skewed_positions, queries):
+    """Fig. 22(a): hierarchical incremental maintenance loses to rebuild
+    at high velocity."""
+    incremental = cycle_time(
+        "hierarchical_incremental", skewed_positions, queries, vmax=FAST
+    ).index_time
+    rebuild = cycle_time(
+        "hierarchical", skewed_positions, queries, vmax=FAST
+    ).index_time
+    assert rebuild < incremental
+
+
+def test_fig22b_query_index_incremental_wins(skewed_positions, queries):
+    """Fig. 22(b): query-index incremental maintenance beats rebuild over
+    a wide velocity range."""
+    incremental = cycle_time(
+        "query_indexing", skewed_positions, queries, vmax=0.005
+    ).index_time
+    rebuild = cycle_time(
+        "query_indexing_rebuild", skewed_positions, queries, vmax=0.005
+    ).index_time
+    assert incremental < rebuild
+
+
+def test_fig22c_incremental_answering_degrades(skewed_positions, queries):
+    """Fig. 22(c): incremental answering degrades with velocity (looser
+    lcrit estimates) while overhaul answering stays flat."""
+    incr_slow = cycle_time(
+        "object_incremental", skewed_positions, queries, vmax=SLOW, cycles=5
+    ).answer_time
+    incr_fast = cycle_time(
+        "object_incremental", skewed_positions, queries, vmax=FAST, cycles=5
+    ).answer_time
+    over_slow = cycle_time(
+        "object_overhaul", skewed_positions, queries, vmax=SLOW, cycles=5
+    ).answer_time
+    over_fast = cycle_time(
+        "object_overhaul", skewed_positions, queries, vmax=FAST, cycles=5
+    ).answer_time
+    assert incr_fast > incr_slow
+    assert over_fast < over_slow * 3

@@ -1,0 +1,84 @@
+"""Taxi dispatch: a continuous bichromatic k-NN join.
+
+Two moving populations — taxis and open ride requests — are joined every
+cycle: each taxi learns its k nearest requests, and the dispatcher
+assigns the globally closest taxi/request pairs first (greedy matching on
+``closest_pairs``).  The city is drawn as an ASCII density map so the
+skewed demand (Fig. 9-style clusters) is visible in the terminal.
+
+Run with::
+
+    python examples/taxi_dispatch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KNNJoinMonitor, RandomWalkModel, density_plot, make_dataset, side_by_side
+
+N_TAXIS = 300
+N_REQUESTS = 4_000
+K = 5
+CYCLES = 6
+ASSIGN_PER_CYCLE = 5
+
+
+def main() -> None:
+    taxis = make_dataset("uniform", N_TAXIS, seed=31)  # cabs roam everywhere
+    requests = make_dataset("skewed", N_REQUESTS, seed=32)  # demand clusters
+    taxi_motion = RandomWalkModel(vmax=0.01, seed=33)
+    request_motion = RandomWalkModel(vmax=0.002, seed=34)  # pedestrians
+
+    print("city snapshot (left: taxis, right: ride requests)\n")
+    print(
+        side_by_side(
+            [
+                density_plot(taxis, width=34, height=14),
+                density_plot(requests, width=34, height=14),
+            ],
+            labels=["taxis", "requests"],
+        )
+    )
+    print()
+
+    join = KNNJoinMonitor(K)
+    total_pickup_distance = 0.0
+    assignments = 0
+    for cycle in range(1, CYCLES + 1):
+        taxis = taxi_motion.step(taxis)
+        requests = request_motion.step(requests)
+        answers = join.tick(taxis, requests)
+        # Greedy dispatch: the globally closest pairs first, one request
+        # and one taxi each (closest_pairs is exact for n <= k).
+        assigned_taxis = set()
+        assigned_requests = set()
+        dispatched = []
+        for taxi_id, request_id, distance in join.closest_pairs(K):
+            if taxi_id in assigned_taxis or request_id in assigned_requests:
+                continue
+            assigned_taxis.add(taxi_id)
+            assigned_requests.add(request_id)
+            dispatched.append((taxi_id, request_id, distance))
+            if len(dispatched) >= ASSIGN_PER_CYCLE:
+                break
+        mean_candidates = float(
+            np.mean([answer.kth_dist() for answer in answers])
+        )
+        for taxi_id, request_id, distance in dispatched:
+            total_pickup_distance += distance
+            assignments += 1
+        print(
+            f"cycle {cycle}: dispatched {len(dispatched)} taxis "
+            f"(closest pickup {dispatched[0][2]:.4f}, "
+            f"mean {K}-th candidate radius {mean_candidates:.4f})"
+        )
+
+    print(
+        f"\n{assignments} assignments, mean pickup distance "
+        f"{total_pickup_distance / assignments:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` where the ``wheel`` package is absent.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""repro — grid-based continuous k-NN monitoring over moving objects.
+
+A from-scratch reproduction of Yu, Pu & Koudas, *Monitoring k-Nearest
+Neighbor Queries Over Moving Objects* (ICDE 2005).
+
+Quickstart::
+
+    import numpy as np
+    from repro import MonitoringSystem, make_dataset, make_queries, RandomWalkModel
+
+    objects = make_dataset("uniform", n=10_000, seed=7)
+    queries = make_queries(100, seed=11)
+    motion = RandomWalkModel(vmax=0.005, seed=13)
+
+    system = MonitoringSystem.object_indexing(k=10, queries=queries)
+    system.load(objects)
+    for _ in range(10):
+        objects = motion.step(objects)
+        answers = system.tick(objects)   # exact k-NN per query, timestamped
+"""
+
+from .core import (
+    AnswerDelta,
+    AnswerList,
+    CircleRegion,
+    CycleStats,
+    DeltaTracker,
+    DynamicPopulation,
+    GNNMonitor,
+    GroupQuery,
+    HierarchicalObjectIndex,
+    KNNJoinMonitor,
+    KeyedAnswer,
+    MonitoringService,
+    MonitoringSystem,
+    ObjectIndex,
+    PositionBuffer,
+    QueryAnswer,
+    QueryIndex,
+    RKNNMonitor,
+    RangeMonitor,
+    Recommendation,
+    RectRegion,
+    SelfJoinMonitor,
+    WorkloadProfile,
+    answers_equal,
+    brute_force_knn,
+    calibrate,
+    optimal_cell_size,
+    pr_exit,
+    recommend,
+)
+from .errors import (
+    ConfigurationError,
+    IndexStateError,
+    NotEnoughObjectsError,
+    OutOfRegionError,
+    ReproError,
+)
+from .grid import Grid2D
+from .motion import (
+    DispersionProcess,
+    RandomWalkModel,
+    make_dataset,
+    make_queries,
+)
+from .roadnet import (
+    RoadNetwork,
+    RoadNetworkModel,
+    roadnet_dataset,
+    synthetic_road_network,
+)
+from .motion.linear import LinearMotionModel
+from .rtree import RTree
+from .tprtree import TPREngine, TPRTree
+from .viz import density_plot, side_by_side
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerDelta",
+    "AnswerList",
+    "CircleRegion",
+    "ConfigurationError",
+    "CycleStats",
+    "DeltaTracker",
+    "DispersionProcess",
+    "DynamicPopulation",
+    "GNNMonitor",
+    "Grid2D",
+    "GroupQuery",
+    "HierarchicalObjectIndex",
+    "IndexStateError",
+    "KNNJoinMonitor",
+    "KeyedAnswer",
+    "LinearMotionModel",
+    "MonitoringService",
+    "MonitoringSystem",
+    "NotEnoughObjectsError",
+    "ObjectIndex",
+    "OutOfRegionError",
+    "PositionBuffer",
+    "QueryAnswer",
+    "QueryIndex",
+    "RKNNMonitor",
+    "RTree",
+    "RangeMonitor",
+    "Recommendation",
+    "RectRegion",
+    "SelfJoinMonitor",
+    "TPREngine",
+    "TPRTree",
+    "WorkloadProfile",
+    "RandomWalkModel",
+    "ReproError",
+    "RoadNetwork",
+    "RoadNetworkModel",
+    "answers_equal",
+    "brute_force_knn",
+    "calibrate",
+    "density_plot",
+    "make_dataset",
+    "make_queries",
+    "side_by_side",
+    "optimal_cell_size",
+    "pr_exit",
+    "recommend",
+    "roadnet_dataset",
+    "synthetic_road_network",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness: per-figure reproduction experiments."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .results import ExperimentResult, format_table
+from .runner import (
+    METHOD_FACTORIES,
+    CycleTiming,
+    make_system,
+    measure_cycles,
+    measure_method,
+)
+
+__all__ = [
+    "CycleTiming",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "METHOD_FACTORIES",
+    "format_table",
+    "make_system",
+    "measure_cycles",
+    "measure_method",
+    "run_experiment",
+]

@@ -1,0 +1,129 @@
+"""Cycle-timing harness for the reproduction experiments.
+
+The paper's performance metric is the wall-clock time of one monitoring
+cycle: index maintenance plus query answering over a snapshot of all object
+positions.  :func:`measure_cycles` runs a configured
+:class:`~repro.core.monitor.MonitoringSystem` for a number of cycles under
+a motion model and reports mean per-cycle times, split exactly the way the
+paper splits them (Fig. 11(b): "Index building" vs "Query answering").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..core.monitor import MonitoringSystem
+from ..errors import ConfigurationError
+from ..motion import RandomWalkModel, make_dataset, make_queries
+
+
+@dataclass(frozen=True)
+class CycleTiming:
+    """Mean per-cycle timings in seconds (initial build excluded)."""
+
+    index_time: float
+    answer_time: float
+    cycles: int
+
+    @property
+    def total_time(self) -> float:
+        return self.index_time + self.answer_time
+
+
+def measure_cycles(
+    system: MonitoringSystem,
+    positions: np.ndarray,
+    motion,
+    cycles: int = 5,
+) -> CycleTiming:
+    """Run ``cycles`` monitoring cycles and average the timing breakdown.
+
+    ``motion`` is any object with a ``step(positions) -> positions`` method
+    (RandomWalkModel, RoadNetworkModel, or a DispersionProcess adapter).
+    The initial :meth:`load` is not counted — the paper measures the
+    steady-state cycle cost.
+    """
+    if cycles < 1:
+        raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+    current = positions
+    system.load(current)
+    for _ in range(cycles):
+        current = motion.step(current)
+        system.tick(current)
+    stats = system.history[1:]
+    index_time = sum(s.index_time for s in stats) / len(stats)
+    answer_time = sum(s.answer_time for s in stats) / len(stats)
+    return CycleTiming(index_time, answer_time, cycles)
+
+
+# Factories by the method names used throughout the benchmark suite.  Each
+# maps to one line in the paper's figures.
+METHOD_FACTORIES: Dict[str, Callable[..., MonitoringSystem]] = {
+    "object_overhaul": lambda k, q, **kw: MonitoringSystem.object_indexing(
+        k, q, maintenance="rebuild", answering="overhaul", **kw
+    ),
+    "object_incremental": lambda k, q, **kw: MonitoringSystem.object_indexing(
+        k, q, maintenance="incremental", answering="incremental", **kw
+    ),
+    "query_indexing": lambda k, q, **kw: MonitoringSystem.query_indexing(
+        k, q, maintenance="incremental", **kw
+    ),
+    "query_indexing_rebuild": lambda k, q, **kw: MonitoringSystem.query_indexing(
+        k, q, maintenance="rebuild", **kw
+    ),
+    "hierarchical": lambda k, q, **kw: MonitoringSystem.hierarchical(
+        k, q, maintenance="rebuild", answering="incremental", **kw
+    ),
+    "hierarchical_incremental": lambda k, q, **kw: MonitoringSystem.hierarchical(
+        k, q, maintenance="incremental", answering="incremental", **kw
+    ),
+    "rtree_overhaul": lambda k, q, **kw: MonitoringSystem.rtree(
+        k, q, maintenance="overhaul", **kw
+    ),
+    "rtree_bottom_up": lambda k, q, **kw: MonitoringSystem.rtree(
+        k, q, maintenance="bottom_up", **kw
+    ),
+    "rtree_str_bulk": lambda k, q, **kw: MonitoringSystem.rtree(
+        k, q, maintenance="str_bulk", **kw
+    ),
+    "brute_force": lambda k, q, **kw: MonitoringSystem.brute_force(k, q, **kw),
+    "tpr_predictive": lambda k, q, **kw: _tpr_system(k, q, **kw),
+}
+
+
+def _tpr_system(k: int, queries: np.ndarray, **kwargs) -> MonitoringSystem:
+    from ..tprtree import TPREngine
+
+    return MonitoringSystem(TPREngine(k, queries, **kwargs))
+
+
+def make_system(method: str, k: int, queries: np.ndarray, **kwargs) -> MonitoringSystem:
+    """Build a monitoring system by benchmark method name."""
+    try:
+        factory = METHOD_FACTORIES[method]
+    except KeyError:
+        known = ", ".join(sorted(METHOD_FACTORIES))
+        raise ConfigurationError(f"unknown method {method!r}; known: {known}") from None
+    return factory(k, queries, **kwargs)
+
+
+def measure_method(
+    method: str,
+    n_objects: int,
+    n_queries: int,
+    k: int = 10,
+    dataset: str = "uniform",
+    vmax: float = 0.005,
+    cycles: int = 5,
+    seed: int = 7,
+    **system_kwargs,
+) -> CycleTiming:
+    """One-call measurement used by the per-figure experiment functions."""
+    positions = make_dataset(dataset, n_objects, seed=seed)
+    queries = make_queries(n_queries, seed=seed + 1)
+    motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
+    system = make_system(method, k, queries, **system_kwargs)
+    return measure_cycles(system, positions, motion, cycles=cycles)

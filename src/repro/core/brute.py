@@ -1,0 +1,55 @@
+"""Brute-force exact k-NN — the ground-truth oracle.
+
+Linear scan over all object positions with :func:`numpy.argpartition`.
+Used in tests to validate every index structure and in benchmarks as a
+floor/ceiling reference.  It is *not* part of the monitored fast path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import NotEnoughObjectsError
+from .answers import Neighbor
+
+
+def brute_force_knn(
+    positions: np.ndarray, qx: float, qy: float, k: int
+) -> List[Neighbor]:
+    """Exact k nearest neighbors of ``(qx, qy)`` by linear scan.
+
+    Parameters
+    ----------
+    positions:
+        Array of shape ``(n, 2)`` with one row per object; the object ID is
+        the row index.
+    qx, qy:
+        Query point.
+    k:
+        Number of neighbors; must not exceed ``n``.
+
+    Returns
+    -------
+    list of ``(object_id, distance)`` sorted by distance then by ID.
+    """
+    n = len(positions)
+    if k > n:
+        raise NotEnoughObjectsError(k, n)
+    dx = positions[:, 0] - qx
+    dy = positions[:, 1] - qy
+    d2 = dx * dx + dy * dy
+    if k == n:
+        nearest = np.arange(n)
+    else:
+        nearest = np.argpartition(d2, k - 1)[:k]
+    order = sorted((float(d2[i]), int(i)) for i in nearest)
+    return [(object_id, float(np.sqrt(dd))) for dd, object_id in order]
+
+
+def brute_force_all(
+    positions: np.ndarray, queries: Sequence[Tuple[float, float]], k: int
+) -> List[List[Neighbor]]:
+    """Exact k-NN for a batch of queries (one linear scan per query)."""
+    return [brute_force_knn(positions, qx, qy, k) for qx, qy in queries]

@@ -1,0 +1,126 @@
+"""The snapshot buffer of §3: ``OBJ_curr`` and ``OBJ_snapshot``.
+
+The paper's system model: objects report new positions *continuously and
+asynchronously* into a current-position buffer; every ``tau`` time units a
+consistent snapshot is taken and the monitoring cycle (index maintenance +
+query answering) runs against that snapshot only.  Answers are therefore
+exact for the snapshot instant — updating the index mid-cycle as reports
+arrive would break that guarantee (§3, first paragraph).
+
+:class:`PositionBuffer` is that buffer, and :class:`MonitoringService`
+wires a buffer to a :class:`~repro.core.monitor.MonitoringSystem` for a
+streaming-update API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, OutOfRegionError
+from .answers import QueryAnswer
+from .monitor import MonitoringSystem
+
+
+class PositionBuffer:
+    """Current positions of a fixed population, updated asynchronously.
+
+    Reports may arrive in any order, multiple times per object per cycle;
+    only the latest report per object is in effect when a snapshot is
+    taken.  Positions must lie in the unit square.
+    """
+
+    def __init__(self, initial_positions: np.ndarray) -> None:
+        positions = np.asarray(initial_positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ConfigurationError("initial_positions must be an (n, 2) array")
+        self._validate_region(positions)
+        self._current = positions.copy()
+        self._dirty: Dict[int, Tuple[float, float]] = {}
+        self.reports_received = 0
+
+    @staticmethod
+    def _validate_region(positions: np.ndarray) -> None:
+        if len(positions) == 0:
+            return
+        bad = np.nonzero(
+            (positions[:, 0] < 0.0)
+            | (positions[:, 0] >= 1.0)
+            | (positions[:, 1] < 0.0)
+            | (positions[:, 1] >= 1.0)
+        )[0]
+        if len(bad):
+            x, y = positions[bad[0]]
+            raise OutOfRegionError(float(x), float(y))
+
+    @property
+    def n_objects(self) -> int:
+        return len(self._current)
+
+    @property
+    def pending_reports(self) -> int:
+        """Objects with reports not yet folded into a snapshot."""
+        return len(self._dirty)
+
+    def report(self, object_id: int, x: float, y: float) -> None:
+        """One asynchronous position report from an object."""
+        if not 0 <= object_id < len(self._current):
+            raise ConfigurationError(
+                f"object id {object_id} outside population "
+                f"[0, {len(self._current)})"
+            )
+        if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
+            raise OutOfRegionError(x, y)
+        self._dirty[object_id] = (x, y)
+        self.reports_received += 1
+
+    def report_batch(self, object_ids: Sequence[int], positions: np.ndarray) -> None:
+        """A batch of reports (e.g. one radio frame's worth)."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if len(object_ids) != len(positions):
+            raise ConfigurationError("object_ids and positions length mismatch")
+        for object_id, (x, y) in zip(object_ids, positions):
+            self.report(int(object_id), float(x), float(y))
+
+    def snapshot(self) -> np.ndarray:
+        """Fold pending reports in and return a consistent snapshot copy."""
+        if self._dirty:
+            for object_id, (x, y) in self._dirty.items():
+                self._current[object_id, 0] = x
+                self._current[object_id, 1] = y
+            self._dirty.clear()
+        return self._current.copy()
+
+
+class MonitoringService:
+    """Streaming facade: asynchronous reports in, periodic answers out.
+
+    Combines a :class:`PositionBuffer` with any configured
+    :class:`MonitoringSystem`.  Call :meth:`report` as position updates
+    arrive and :meth:`run_cycle` every ``tau`` to obtain exact answers for
+    the snapshot taken at that moment.
+    """
+
+    def __init__(
+        self, system: MonitoringSystem, initial_positions: np.ndarray
+    ) -> None:
+        self.buffer = PositionBuffer(initial_positions)
+        self.system = system
+        #: Exact answers for the initial snapshot (timestamp 0).
+        self.initial_answers: List[QueryAnswer] = system.load(self.buffer.snapshot())
+
+    def report(self, object_id: int, x: float, y: float) -> None:
+        """Accept one asynchronous position report."""
+        self.buffer.report(object_id, x, y)
+
+    def report_batch(self, object_ids: Sequence[int], positions: np.ndarray) -> None:
+        self.buffer.report_batch(object_ids, positions)
+
+    def run_cycle(self) -> List[QueryAnswer]:
+        """Take a snapshot and run one monitoring cycle against it."""
+        return self.system.tick(self.buffer.snapshot())
+
+    @property
+    def timestamp(self) -> float:
+        return self.system.timestamp

@@ -1,0 +1,187 @@
+"""Analytical cost models from the paper (§3.1–§3.3).
+
+These closed forms are what the experiments in §5.3 validate:
+
+* Lemma 1  — overhaul Object-Indexing run time
+  ``T = Tindex + Tquery`` with ``Tindex = a0 * NP`` and
+  ``Tquery = (a1 (lcrit+delta)^2 / delta^2 + a2 (lcrit+delta)^2 NP) * NQ``.
+* Theorem 1 — under uniformity the optimal cell size is
+  ``delta* = 1 / sqrt(NP)`` and per-query time is constant in ``NP``.
+* Theorem 2/3 — under skew (Thm 2) or mobility (Thm 3) the per-query time
+  inflates to ``b0 + b1 mu sqrt(NP) + b2 mu^2 NP`` per query.
+* The mobility model's cell-exit probability ``Pr(exit)`` (closed form in
+  §3.2), which decides incremental-vs-overhaul index maintenance.
+
+Constants ``a_i``, ``b_i``, ``c_i`` are machine dependent; helpers are
+provided to fit them to measured series with linear least squares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def optimal_cell_size(n_objects: int) -> float:
+    """Theorem 1: ``delta* = 1 / sqrt(NP)``."""
+    if n_objects < 1:
+        raise ConfigurationError(f"n_objects must be >= 1, got {n_objects}")
+    return 1.0 / math.sqrt(n_objects)
+
+
+def expected_knn_radius_uniform(k: int, n_objects: int) -> float:
+    """Expected distance to the k-th NN under uniformity.
+
+    From ``pi * lcrit^2 * NP ~= k`` (proof of Theorem 1):
+    ``lcrit ~= sqrt(k / (pi * NP))``.
+    """
+    if k < 1 or n_objects < 1:
+        raise ConfigurationError("k and n_objects must be >= 1")
+    return math.sqrt(k / (math.pi * n_objects))
+
+
+def pr_exit(delta: float, vmax: float) -> float:
+    """Probability that an object leaves its cell within one cycle (§3.2).
+
+    Displacements ``u, v ~ U[-vmax, vmax]`` i.i.d., start position uniform
+    in the cell.  The paper's closed form::
+
+        Pr(exit) = 1 - (delta / (2 vmax))^2          if delta <= vmax
+        Pr(exit) = (vmax/delta) (1 - vmax/(4 delta)) ... per axis, combined
+
+    The second branch printed in the paper is the small-``vmax`` expansion;
+    here the exact two-axis form ``1 - Pstay_1d(delta, vmax)^2`` is used,
+    which reduces to the paper's expressions in both regimes.
+    """
+    if delta <= 0.0 or vmax < 0.0:
+        raise ConfigurationError("delta must be > 0 and vmax >= 0")
+    if vmax == 0.0:
+        return 0.0
+    stay_1d = _pr_stay_1d(delta, vmax)
+    return 1.0 - stay_1d * stay_1d
+
+
+def _pr_stay_1d(delta: float, vmax: float) -> float:
+    """One-axis stay probability for ``u ~ U[-vmax, vmax]``, ``x ~ U[0, delta)``."""
+    if delta <= vmax:
+        return delta / (2.0 * vmax)
+    return 1.0 - vmax / (2.0 * delta)
+
+
+def pr_exit_paper(delta: float, vmax: float) -> float:
+    """The paper's printed piecewise ``Pr(exit)`` formula, verbatim.
+
+    ``1 - (delta/(2 vmax))^2`` for ``delta <= vmax`` and
+    ``(vmax/delta) * (1 - vmax/(4 delta))`` for ``delta > vmax``.  The
+    second branch equals ``1 - (1 - vmax/(2 delta))^2`` exactly, i.e. the
+    two-axis combination is already folded in; kept for fidelity checks.
+    """
+    if delta <= 0.0 or vmax < 0.0:
+        raise ConfigurationError("delta must be > 0 and vmax >= 0")
+    if vmax == 0.0:
+        return 0.0
+    if delta <= vmax:
+        ratio = delta / (2.0 * vmax)
+        return 1.0 - ratio * ratio
+    return (vmax / delta) * (1.0 - vmax / (4.0 * delta))
+
+
+@dataclass(frozen=True)
+class ObjectIndexingCost:
+    """Fitted Lemma 1 constants for overhaul Object-Indexing."""
+
+    a0: float  # index build, per object
+    a1: float  # query answering, per cell of Rcrit
+    a2: float  # query answering, per (area * NP) unit
+
+    def t_index(self, n_objects: int) -> float:
+        return self.a0 * n_objects
+
+    def t_query(
+        self, lcrit: float, delta: float, n_objects: int, n_queries: int
+    ) -> float:
+        width = lcrit + delta
+        area = width * width
+        per_query = self.a1 * area / (delta * delta) + self.a2 * area * n_objects
+        return per_query * n_queries
+
+    def total(
+        self, lcrit: float, delta: float, n_objects: int, n_queries: int
+    ) -> float:
+        return self.t_index(n_objects) + self.t_query(
+            lcrit, delta, n_objects, n_queries
+        )
+
+
+@dataclass(frozen=True)
+class SkewedQueryCost:
+    """Theorem 2/3 per-query cost ``b0 + b1 mu sqrt(NP) + b2 mu^2 NP``."""
+
+    b0: float
+    b1: float
+    b2: float
+
+    def t_query(self, mu: float, n_objects: int, n_queries: int) -> float:
+        root = math.sqrt(n_objects)
+        per_query = self.b0 + self.b1 * mu * root + self.b2 * mu * mu * n_objects
+        return per_query * n_queries
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ~= slope * x + intercept``.
+
+    Returns ``(slope, intercept)``.  Used to verify the linear trends of
+    Figs. 11(a)/11(b)/20.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if len(x) < 2:
+        raise ConfigurationError("need at least two points to fit a line")
+    design = np.stack([x, np.ones_like(x)], axis=1)
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(slope), float(intercept)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ~= c * x^p`` in log space.
+
+    Returns ``(p, c)``.  Used to distinguish the O(sqrt(NP)) and O(NP)
+    regimes of Fig. 13/18(a).
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if np.any(x <= 0.0) or np.any(y <= 0.0):
+        raise ConfigurationError("power-law fit requires positive data")
+    p, logc = fit_linear(np.log(x), np.log(y))
+    return float(p), float(math.exp(logc))
+
+
+def linearity_r2(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Coefficient of determination of the best linear fit."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    slope, intercept = fit_linear(x, y)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def incremental_maintenance_cost(
+    n_objects: int, delta: float, vmax: float, per_move_cost: float
+) -> float:
+    """Expected incremental Object-Index maintenance time (§3.2).
+
+    ``Tindex,incr = c * NP * Pr(exit) * (NP * delta^2)`` — the number of
+    movers times the average object-list length ``L ~= NP * delta^2``.
+    With the optimal ``delta* = 1/sqrt(NP)``, ``L ~= 1``.
+    """
+    list_length = n_objects * delta * delta
+    return per_move_cost * n_objects * pr_exit(delta, vmax) * max(1.0, list_length)

@@ -1,0 +1,197 @@
+"""Continuous group nearest neighbor (GNN) monitoring (paper §6 future work).
+
+A *group* query is a set of points ``G = {q1, .., qm}`` (e.g. friends who
+want to meet); its k group nearest neighbors are the objects minimising an
+aggregate of the distances to all group members:
+
+* ``sum`` — minimise ``sum_i dist(p, qi)`` (the meeting point that
+  minimises total travel, Papadias et al., ICDE 2004);
+* ``max`` — minimise ``max_i dist(p, qi)`` (minimise the worst member's
+  travel).
+
+The search runs on the one-level grid Object-Index and prunes with
+centroid-based lower bounds derived from the triangle inequality.  For an
+object ``p`` and the group centroid ``c``::
+
+    sum_i d(p, qi) >= m * d(p, c) - sum_i d(c, qi)
+    max_i d(p, qi) >= d(p, c) - min_i d(c, qi)
+
+Cells are visited in rings of increasing Chebyshev distance from the
+centroid cell; once a whole ring's lower bound exceeds the current k-th
+best aggregate, no further cell can improve the answer and the search
+stops, provably exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotEnoughObjectsError
+from ..grid.geometry import cells_ring, min_dist2_point_cell
+from .answers import AnswerList, Neighbor
+from .object_index import ObjectIndex
+
+_AGGREGATES = ("sum", "max")
+
+
+class GroupQuery:
+    """One group of query points with precomputed centroid bounds."""
+
+    __slots__ = (
+        "points",
+        "cx",
+        "cy",
+        "sum_center",
+        "min_center",
+        "m",
+        "_xs",
+        "_ys",
+    )
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2 or len(points) == 0:
+            raise ConfigurationError("a group must be a non-empty (m, 2) array")
+        self.points = points
+        self.m = len(points)
+        # Plain lists: the aggregate is evaluated once per scanned object,
+        # and for the small groups typical of GNN a Python loop beats the
+        # per-call overhead of numpy temporaries.
+        self._xs = points[:, 0].tolist()
+        self._ys = points[:, 1].tolist()
+        self.cx = float(np.mean(points[:, 0]))
+        self.cy = float(np.mean(points[:, 1]))
+        center_dists = np.sqrt(
+            (points[:, 0] - self.cx) ** 2 + (points[:, 1] - self.cy) ** 2
+        )
+        self.sum_center = float(np.sum(center_dists))
+        self.min_center = float(np.min(center_dists))
+
+    def aggregate(self, px: float, py: float, kind: str) -> float:
+        """Exact aggregate distance from a point to the group."""
+        xs = self._xs
+        ys = self._ys
+        if kind == "sum":
+            total = 0.0
+            for i in range(self.m):
+                total += math.hypot(xs[i] - px, ys[i] - py)
+            return total
+        worst = 0.0
+        for i in range(self.m):
+            d = math.hypot(xs[i] - px, ys[i] - py)
+            if d > worst:
+                worst = d
+        return worst
+
+    def lower_bound(self, dist_to_centroid: float, kind: str) -> float:
+        """A valid lower bound on the aggregate from the centroid distance."""
+        if kind == "sum":
+            return max(0.0, self.m * dist_to_centroid - self.sum_center)
+        return max(0.0, dist_to_centroid - self.min_center)
+
+
+def group_knn(
+    index: ObjectIndex, group: GroupQuery, k: int, aggregate: str = "sum"
+) -> List[Neighbor]:
+    """Exact k group-NN over a built Object-Index.
+
+    Returns ``(object_id, aggregate_distance)`` pairs, best first.
+    """
+    if aggregate not in _AGGREGATES:
+        raise ConfigurationError(
+            f"aggregate must be one of {_AGGREGATES}, got {aggregate!r}"
+        )
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if k > index.n_objects:
+        raise NotEnoughObjectsError(k, index.n_objects)
+    grid = index.grid
+    ci, cj = grid.locate(group.cx, group.cy)
+    ncells = grid.ncells
+    delta = grid.delta
+    # (aggregate, object_id) entries so plain tuple order sorts by quality.
+    best = AnswerList(k)
+    level = 0
+    while True:
+        ring = cells_ring(ci, cj, level, ncells)
+        if not ring and level > 0:
+            break  # the whole grid has been scanned
+        # Lower bound for anything at this Chebyshev ring or beyond: the
+        # ring's nearest point to the centroid is (level - 1) * delta away
+        # at least (the ring starts one full cell out after level 1).
+        ring_min_dist = max(0.0, (level - 1) * delta)
+        if best.full and group.lower_bound(ring_min_dist, aggregate) > math.sqrt(
+            best.worst_dist2
+        ):
+            break
+        for i, j in ring:
+            bucket = grid.bucket(i, j)
+            if not bucket:
+                continue
+            if best.full:
+                cell_dist = math.sqrt(
+                    min_dist2_point_cell(group.cx, group.cy, i, j, delta)
+                )
+                if group.lower_bound(cell_dist, aggregate) > math.sqrt(
+                    best.worst_dist2
+                ):
+                    continue
+            for object_id in bucket:
+                px, py = index.position_of(object_id)
+                agg = group.aggregate(px, py, aggregate)
+                best.offer(agg * agg, object_id)
+        level += 1
+    return [(object_id, math.sqrt(d2)) for d2, object_id in best]
+
+
+class GNNMonitor:
+    """Continuously monitor k group-NNs for several groups of points."""
+
+    def __init__(
+        self,
+        k: int,
+        groups: Sequence[np.ndarray],
+        aggregate: str = "sum",
+    ) -> None:
+        if aggregate not in _AGGREGATES:
+            raise ConfigurationError(
+                f"aggregate must be one of {_AGGREGATES}, got {aggregate!r}"
+            )
+        if not groups:
+            raise ConfigurationError("at least one group is required")
+        self.k = k
+        self.aggregate = aggregate
+        self.groups = [GroupQuery(points) for points in groups]
+        self._index: Optional[ObjectIndex] = None
+
+    def tick(self, positions: np.ndarray) -> List[List[Neighbor]]:
+        """Process one snapshot; returns per-group answers, best first."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if self._index is None or self._index.n_objects != len(positions):
+            self._index = ObjectIndex(n_objects=max(1, len(positions)))
+        self._index.build(positions)
+        return [
+            group_knn(self._index, group, self.k, self.aggregate)
+            for group in self.groups
+        ]
+
+
+def brute_force_group_knn(
+    positions: np.ndarray, group_points: np.ndarray, k: int, aggregate: str = "sum"
+) -> List[Neighbor]:
+    """Group k-NN ground truth by scanning every object (tests only)."""
+    group = GroupQuery(group_points)
+    positions = np.asarray(positions, dtype=np.float64)
+    if k > len(positions):
+        raise NotEnoughObjectsError(k, len(positions))
+    scored: List[Tuple[float, int]] = []
+    for object_id in range(len(positions)):
+        agg = group.aggregate(
+            float(positions[object_id, 0]), float(positions[object_id, 1]), aggregate
+        )
+        scored.append((agg, object_id))
+    scored.sort()
+    return [(object_id, agg) for agg, object_id in scored[:k]]

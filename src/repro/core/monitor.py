@@ -1,0 +1,537 @@
+"""Continuous-monitoring orchestration.
+
+:class:`MonitoringSystem` is the user-facing entry point.  It implements
+the paper's cycle (§3): a snapshot ``OBJ_snapshot`` of the asynchronously
+updated buffer ``OBJ_curr`` is taken every ``tau`` time units, the index is
+maintained against the snapshot, and the exact k-NNs of every query are
+recomputed.  Each returned answer carries the snapshot timestamp it is
+exact for.
+
+The index structure and maintenance/answering policy are pluggable
+*engines*; one engine exists per method evaluated in the paper:
+
+===========================  ==================================================
+Factory                      Paper method
+===========================  ==================================================
+``object_indexing``          one-level Object-Indexing (§3.1, §3.2)
+``query_indexing``           Query-Indexing (§3.3)
+``hierarchical``             hierarchical Object-Indexing (§4)
+``rtree``                    R-tree overhaul / bottom-up baselines (§5.4)
+``brute_force``              linear-scan oracle (not in the paper; testing)
+===========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, IndexStateError
+from ..rtree.rtree import RTree
+from .answers import AnswerList, QueryAnswer
+from .brute import brute_force_knn
+from .hierarchical import HierarchicalObjectIndex
+from .object_index import ObjectIndex
+from .query_index import QueryIndex
+
+_MAINTENANCE_MODES = ("rebuild", "incremental")
+_ANSWERING_MODES = ("overhaul", "incremental")
+
+
+def _as_queries(queries: np.ndarray) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != 2:
+        raise ConfigurationError("queries must be an (NQ, 2) array")
+    return queries
+
+
+class BaseEngine(abc.ABC):
+    """One monitoring method: how to maintain an index and answer queries."""
+
+    name = "base"
+
+    def __init__(self, k: int, queries: np.ndarray) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.queries = _as_queries(queries)
+        self._positions: Optional[np.ndarray] = None
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def set_queries(self, queries: np.ndarray) -> None:
+        """Replace the query positions (queries may move between cycles).
+
+        The query *set* must stay the same size: per-query state (previous
+        answers, critical regions) is tracked positionally.  Correctness is
+        unaffected — every incremental bound is recomputed from the new
+        query position each cycle (§5.1 expects "comparable performance
+        when query points are moving").
+        """
+        queries = _as_queries(queries)
+        if len(queries) != len(self.queries):
+            raise ConfigurationError(
+                f"query count changed from {len(self.queries)} to "
+                f"{len(queries)}; build a new monitoring system instead"
+            )
+        self.queries = queries
+
+    @abc.abstractmethod
+    def load(self, positions: np.ndarray) -> None:
+        """Initial build from the first snapshot."""
+
+    @abc.abstractmethod
+    def maintain(self, positions: np.ndarray) -> None:
+        """Per-cycle index maintenance against a new snapshot."""
+
+    @abc.abstractmethod
+    def answer(self) -> List[AnswerList]:
+        """Exact k-NN answers for the snapshot last passed to maintain()."""
+
+
+class ObjectIndexingEngine(BaseEngine):
+    """One-level grid Object-Indexing (§3.1 overhaul, §3.2 incremental)."""
+
+    def __init__(
+        self,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "rebuild",
+        answering: str = "overhaul",
+        ncells: Optional[int] = None,
+        delta: Optional[float] = None,
+    ) -> None:
+        super().__init__(k, queries)
+        if maintenance not in _MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"maintenance must be one of {_MAINTENANCE_MODES}, got {maintenance!r}"
+            )
+        if answering not in _ANSWERING_MODES:
+            raise ConfigurationError(
+                f"answering must be one of {_ANSWERING_MODES}, got {answering!r}"
+            )
+        self.name = f"object-indexing/{maintenance}/{answering}"
+        self.maintenance = maintenance
+        self.answering = answering
+        self._ncells = ncells
+        self._delta = delta
+        self.index: Optional[ObjectIndex] = None
+        self._previous_ids: List[List[int]] = [[] for _ in range(self.n_queries)]
+
+    def _make_index(self, n_objects: int) -> ObjectIndex:
+        if self._ncells is not None:
+            return ObjectIndex(ncells=self._ncells)
+        if self._delta is not None:
+            return ObjectIndex(delta=self._delta)
+        return ObjectIndex(n_objects=max(1, n_objects))
+
+    def load(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        self.index = self._make_index(len(positions))
+        self.index.build(positions)
+        self._positions = positions
+        self._previous_ids = [[] for _ in range(self.n_queries)]
+
+    def maintain(self, positions: np.ndarray) -> None:
+        if self.index is None:
+            raise IndexStateError("load() must run before maintain()")
+        positions = np.asarray(positions, dtype=np.float64)
+        if self.maintenance == "rebuild" or len(positions) != self.index.n_objects:
+            self.index.build(positions)
+        else:
+            self.index.update(positions)
+        self._positions = positions
+
+    def answer(self) -> List[AnswerList]:
+        if self.index is None:
+            raise IndexStateError("load() must run before answer()")
+        answers: List[AnswerList] = []
+        for query_id, (qx, qy) in enumerate(self.queries):
+            if self.answering == "incremental" and self._previous_ids[query_id]:
+                answer = self.index.knn_incremental(
+                    qx, qy, self.k, self._previous_ids[query_id]
+                )
+            else:
+                answer = self.index.knn_overhaul(qx, qy, self.k)
+            self._previous_ids[query_id] = answer.object_ids()
+            answers.append(answer)
+        return answers
+
+
+class QueryIndexingEngine(BaseEngine):
+    """Grid Query-Indexing (§3.3)."""
+
+    def __init__(
+        self,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "incremental",
+        ncells: Optional[int] = None,
+        delta: Optional[float] = None,
+    ) -> None:
+        super().__init__(k, queries)
+        if maintenance not in _MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"maintenance must be one of {_MAINTENANCE_MODES}, got {maintenance!r}"
+            )
+        self.name = f"query-indexing/{maintenance}"
+        self.maintenance = maintenance
+        self._ncells = ncells
+        self._delta = delta
+        self.index: Optional[QueryIndex] = None
+        self._pending_answers: Optional[List[AnswerList]] = None
+
+    def load(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if self._ncells is not None:
+            self.index = QueryIndex(self.queries, self.k, ncells=self._ncells)
+        elif self._delta is not None:
+            self.index = QueryIndex(self.queries, self.k, delta=self._delta)
+        else:
+            self.index = QueryIndex(
+                self.queries, self.k, n_objects=max(1, len(positions))
+            )
+        self._pending_answers = self.index.bootstrap(positions)
+        self._positions = positions
+
+    def maintain(self, positions: np.ndarray) -> None:
+        if self.index is None:
+            raise IndexStateError("load() must run before maintain()")
+        positions = np.asarray(positions, dtype=np.float64)
+        self._pending_answers = None
+        if self.maintenance == "rebuild":
+            self.index.rebuild_index(positions)
+        else:
+            self.index.update_index(positions)
+        self._positions = positions
+
+    def answer(self) -> List[AnswerList]:
+        if self.index is None or self._positions is None:
+            raise IndexStateError("load() must run before answer()")
+        if self._pending_answers is not None:
+            # The bootstrap cycle already produced exact answers.
+            answers = self._pending_answers
+            self._pending_answers = None
+            return answers
+        return self.index.answer(self._positions)
+
+    def set_queries(self, queries: np.ndarray) -> None:
+        super().set_queries(queries)
+        if self.index is not None:
+            # Rectangles are recomputed from the new query positions on the
+            # next maintenance pass; only the stored coordinates move here.
+            self.index._qx = self.queries[:, 0].tolist()
+            self.index._qy = self.queries[:, 1].tolist()
+
+
+class HierarchicalEngine(BaseEngine):
+    """Hierarchical Object-Indexing (§4)."""
+
+    def __init__(
+        self,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "incremental",
+        answering: str = "incremental",
+        delta0: float = 0.1,
+        max_cell_load: int = 10,
+        split_factor: int = 3,
+    ) -> None:
+        super().__init__(k, queries)
+        if maintenance not in _MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"maintenance must be one of {_MAINTENANCE_MODES}, got {maintenance!r}"
+            )
+        if answering not in _ANSWERING_MODES:
+            raise ConfigurationError(
+                f"answering must be one of {_ANSWERING_MODES}, got {answering!r}"
+            )
+        self.name = f"hierarchical/{maintenance}/{answering}"
+        self.maintenance = maintenance
+        self.answering = answering
+        self.index = HierarchicalObjectIndex(
+            delta0=delta0, max_cell_load=max_cell_load, split_factor=split_factor
+        )
+        self._previous_ids: List[List[int]] = [[] for _ in range(self.n_queries)]
+
+    def load(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        self.index.build(positions)
+        self._positions = positions
+        self._previous_ids = [[] for _ in range(self.n_queries)]
+
+    def maintain(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if self.maintenance == "rebuild" or len(positions) != self.index.n_objects:
+            self.index.build(positions)
+        else:
+            self.index.update(positions)
+        self._positions = positions
+
+    def answer(self) -> List[AnswerList]:
+        answers: List[AnswerList] = []
+        for query_id, (qx, qy) in enumerate(self.queries):
+            if self.answering == "incremental" and self._previous_ids[query_id]:
+                answer = self.index.knn_incremental(
+                    qx, qy, self.k, self._previous_ids[query_id]
+                )
+            else:
+                answer = self.index.knn_overhaul(qx, qy, self.k)
+            self._previous_ids[query_id] = answer.object_ids()
+            answers.append(answer)
+        return answers
+
+
+class RTreeEngine(BaseEngine):
+    """R-tree baseline (§5.4).
+
+    Maintenance modes:
+
+    * ``overhaul`` — re-construct the tree entirely each cycle by inserting
+      every object into an empty tree (the paper's "R-tree overhaul").
+    * ``bottom_up`` — Lee et al. localized updates per object.
+    * ``str_bulk`` — rebuild with Sort-Tile-Recursive packing; *stronger*
+      than anything the paper ran, included as an extra baseline so the
+      comparison is not won by a strawman.
+    """
+
+    _MODES = ("overhaul", "bottom_up", "str_bulk")
+
+    def __init__(
+        self,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "overhaul",
+        max_entries: int = 32,
+    ) -> None:
+        super().__init__(k, queries)
+        if maintenance not in self._MODES:
+            raise ConfigurationError(
+                f"maintenance must be one of {self._MODES}, got {maintenance!r}"
+            )
+        self.name = f"rtree/{maintenance}"
+        self.maintenance = maintenance
+        self.max_entries = max_entries
+        self.index = RTree(max_entries=max_entries)
+
+    def _rebuild_by_insertion(self, positions: np.ndarray) -> None:
+        self.index = RTree(max_entries=self.max_entries)
+        xs = positions[:, 0].tolist()
+        ys = positions[:, 1].tolist()
+        for object_id in range(len(positions)):
+            self.index.insert(object_id, xs[object_id], ys[object_id])
+
+    def load(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if self.maintenance == "overhaul":
+            self._rebuild_by_insertion(positions)
+        else:
+            self.index.bulk_load(positions)
+        self._positions = positions
+
+    def maintain(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if self.maintenance == "overhaul":
+            self._rebuild_by_insertion(positions)
+        elif self.maintenance == "str_bulk" or len(positions) != len(self.index):
+            self.index.bulk_load(positions)
+        else:
+            xs = positions[:, 0].tolist()
+            ys = positions[:, 1].tolist()
+            for object_id in range(len(positions)):
+                self.index.update_bottom_up(object_id, xs[object_id], ys[object_id])
+        self._positions = positions
+
+    def answer(self) -> List[AnswerList]:
+        return [self.index.knn(qx, qy, self.k) for qx, qy in self.queries]
+
+
+class BruteForceEngine(BaseEngine):
+    """Linear-scan oracle, used as ground truth."""
+
+    name = "brute-force"
+
+    def load(self, positions: np.ndarray) -> None:
+        self._positions = np.asarray(positions, dtype=np.float64)
+
+    def maintain(self, positions: np.ndarray) -> None:
+        self._positions = np.asarray(positions, dtype=np.float64)
+
+    def answer(self) -> List[AnswerList]:
+        if self._positions is None:
+            raise IndexStateError("load() must run before answer()")
+        answers: List[AnswerList] = []
+        for qx, qy in self.queries:
+            answer = AnswerList(self.k)
+            for object_id, distance in brute_force_knn(
+                self._positions, qx, qy, self.k
+            ):
+                answer.offer(distance * distance, object_id)
+            answers.append(answer)
+        return answers
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Timing breakdown of one monitoring cycle (seconds)."""
+
+    timestamp: float
+    index_time: float
+    answer_time: float
+
+    @property
+    def total_time(self) -> float:
+        return self.index_time + self.answer_time
+
+
+class MonitoringSystem:
+    """Continuous k-NN monitor over a population of moving objects.
+
+    Construct with one of the factory methods, :meth:`load` the first
+    snapshot, then call :meth:`tick` once per cycle with each new snapshot.
+    """
+
+    def __init__(self, engine: BaseEngine, tau: float = 1.0) -> None:
+        if tau <= 0.0:
+            raise ConfigurationError(f"tau must be > 0, got {tau}")
+        self.engine = engine
+        self.tau = tau
+        self.cycle = 0
+        self.history: List[CycleStats] = []
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Factories, one per paper method
+    # ------------------------------------------------------------------
+    @classmethod
+    def object_indexing(
+        cls,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "rebuild",
+        answering: str = "overhaul",
+        tau: float = 1.0,
+        **grid_kwargs,
+    ) -> "MonitoringSystem":
+        return cls(
+            ObjectIndexingEngine(k, queries, maintenance, answering, **grid_kwargs),
+            tau=tau,
+        )
+
+    @classmethod
+    def query_indexing(
+        cls,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "incremental",
+        tau: float = 1.0,
+        **grid_kwargs,
+    ) -> "MonitoringSystem":
+        return cls(QueryIndexingEngine(k, queries, maintenance, **grid_kwargs), tau=tau)
+
+    @classmethod
+    def hierarchical(
+        cls,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "incremental",
+        answering: str = "incremental",
+        tau: float = 1.0,
+        **hier_kwargs,
+    ) -> "MonitoringSystem":
+        return cls(
+            HierarchicalEngine(k, queries, maintenance, answering, **hier_kwargs),
+            tau=tau,
+        )
+
+    @classmethod
+    def rtree(
+        cls,
+        k: int,
+        queries: np.ndarray,
+        maintenance: str = "overhaul",
+        tau: float = 1.0,
+        **rtree_kwargs,
+    ) -> "MonitoringSystem":
+        return cls(RTreeEngine(k, queries, maintenance, **rtree_kwargs), tau=tau)
+
+    @classmethod
+    def brute_force(
+        cls, k: int, queries: np.ndarray, tau: float = 1.0
+    ) -> "MonitoringSystem":
+        return cls(BruteForceEngine(k, queries), tau=tau)
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.engine.k
+
+    @property
+    def n_queries(self) -> int:
+        return self.engine.n_queries
+
+    @property
+    def timestamp(self) -> float:
+        """Snapshot time of the most recent cycle."""
+        return self.cycle * self.tau
+
+    def set_queries(self, queries: np.ndarray) -> None:
+        """Move the monitored query points (the query count must not change)."""
+        self.engine.set_queries(queries)
+
+    def load(self, positions: np.ndarray) -> List[QueryAnswer]:
+        """Take the initial snapshot, build the index, answer once."""
+        start = time.perf_counter()
+        self.engine.load(positions)
+        index_time = time.perf_counter() - start
+        start = time.perf_counter()
+        answers = self.engine.answer()
+        answer_time = time.perf_counter() - start
+        self.cycle = 0
+        self.history = [CycleStats(0.0, index_time, answer_time)]
+        self._loaded = True
+        return self._package(answers, 0.0)
+
+    def tick(self, positions: np.ndarray) -> List[QueryAnswer]:
+        """Run one monitoring cycle against a new snapshot."""
+        if not self._loaded:
+            raise IndexStateError("load() must run before tick()")
+        self.cycle += 1
+        timestamp = self.cycle * self.tau
+        start = time.perf_counter()
+        self.engine.maintain(positions)
+        index_time = time.perf_counter() - start
+        start = time.perf_counter()
+        answers = self.engine.answer()
+        answer_time = time.perf_counter() - start
+        self.history.append(CycleStats(timestamp, index_time, answer_time))
+        return self._package(answers, timestamp)
+
+    def _package(
+        self, answers: Sequence[AnswerList], timestamp: float
+    ) -> List[QueryAnswer]:
+        return [
+            QueryAnswer(query_id, timestamp, tuple(answer.neighbors()))
+            for query_id, answer in enumerate(answers)
+        ]
+
+    @property
+    def last_stats(self) -> CycleStats:
+        if not self.history:
+            raise IndexStateError("no cycle has run yet")
+        return self.history[-1]
+
+    def mean_cycle_time(self, skip_first: bool = True) -> float:
+        """Average total cycle time, by default excluding the initial build."""
+        stats = self.history[1:] if skip_first and len(self.history) > 1 else self.history
+        if not stats:
+            raise IndexStateError("no cycle has run yet")
+        return sum(s.total_time for s in stats) / len(stats)

@@ -1,0 +1,160 @@
+"""Dynamic populations: stable external IDs over dense row indices.
+
+The paper's model lets objects "freely move in and out of the region".
+Internally every index addresses objects by *row index* into the snapshot
+array — compact and fast, but rows shift when the membership changes.
+:class:`DynamicPopulation` provides the stable layer a real deployment
+needs: external object keys (ints, strings, anything hashable) mapped to
+rows, with joins, departures, and moves; plus translation of row-indexed
+answers back to external keys.
+
+Correctness note: engines rebuild automatically when the population size
+changes.  When the size happens to stay equal across a membership change,
+incremental answering remains *exact* anyway — the §3.2 seed only needs k
+valid row indices to bound the critical radius, not identity continuity —
+at worst the seeded radius is looser for one cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, OutOfRegionError
+from .answers import QueryAnswer
+
+Key = Hashable
+
+
+class DynamicPopulation:
+    """A mutable set of keyed moving objects in the unit square."""
+
+    def __init__(self) -> None:
+        self._keys: List[Key] = []
+        self._row_of: Dict[Key, int] = {}
+        self._xs: List[float] = []
+        self._ys: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._row_of
+
+    @staticmethod
+    def _check_region(x: float, y: float) -> None:
+        if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
+            raise OutOfRegionError(x, y)
+
+    def add(self, key: Key, x: float, y: float) -> None:
+        """An object enters the region of interest."""
+        if key in self._row_of:
+            raise ConfigurationError(f"object {key!r} is already present")
+        self._check_region(x, y)
+        self._row_of[key] = len(self._keys)
+        self._keys.append(key)
+        self._xs.append(x)
+        self._ys.append(y)
+
+    def remove(self, key: Key) -> None:
+        """An object leaves the region (swap-with-last removal, O(1))."""
+        row = self._row_of.pop(key, None)
+        if row is None:
+            raise ConfigurationError(f"object {key!r} is not present")
+        last = len(self._keys) - 1
+        if row != last:
+            moved_key = self._keys[last]
+            self._keys[row] = moved_key
+            self._xs[row] = self._xs[last]
+            self._ys[row] = self._ys[last]
+            self._row_of[moved_key] = row
+        self._keys.pop()
+        self._xs.pop()
+        self._ys.pop()
+
+    def move(self, key: Key, x: float, y: float) -> None:
+        """Update an object's position."""
+        row = self._row_of.get(key)
+        if row is None:
+            raise ConfigurationError(f"object {key!r} is not present")
+        self._check_region(x, y)
+        self._xs[row] = x
+        self._ys[row] = y
+
+    # ------------------------------------------------------------------
+    # Snapshots and translation
+    # ------------------------------------------------------------------
+    def keys(self) -> List[Key]:
+        """Current keys in row order."""
+        return list(self._keys)
+
+    def key_of(self, row: int) -> Key:
+        return self._keys[row]
+
+    def row_of(self, key: Key) -> int:
+        return self._row_of[key]
+
+    def position_of(self, key: Key) -> Tuple[float, float]:
+        row = self._row_of[key]
+        return self._xs[row], self._ys[row]
+
+    def snapshot(self) -> np.ndarray:
+        """The current positions as a dense ``(n, 2)`` array (a copy)."""
+        if not self._keys:
+            return np.empty((0, 2))
+        return np.stack(
+            [np.asarray(self._xs), np.asarray(self._ys)], axis=1
+        )
+
+    def translate_answer(self, answer: QueryAnswer) -> "KeyedAnswer":
+        """Convert a row-indexed answer into external keys."""
+        return KeyedAnswer(
+            answer.query_id,
+            answer.timestamp,
+            tuple(
+                (self._keys[row], distance) for row, distance in answer.neighbors
+            ),
+        )
+
+    def translate_answers(
+        self, answers: Sequence[QueryAnswer]
+    ) -> List["KeyedAnswer"]:
+        return [self.translate_answer(answer) for answer in answers]
+
+
+class KeyedAnswer:
+    """A :class:`QueryAnswer` whose neighbors carry external keys."""
+
+    __slots__ = ("query_id", "timestamp", "neighbors")
+
+    def __init__(
+        self,
+        query_id: int,
+        timestamp: float,
+        neighbors: Tuple[Tuple[Key, float], ...],
+    ) -> None:
+        self.query_id = query_id
+        self.timestamp = timestamp
+        self.neighbors = neighbors
+
+    @property
+    def k(self) -> int:
+        return len(self.neighbors)
+
+    def keys(self) -> Tuple[Key, ...]:
+        return tuple(key for key, _ in self.neighbors)
+
+    def kth_dist(self) -> float:
+        if not self.neighbors:
+            return float("inf")
+        return self.neighbors[-1][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KeyedAnswer(query_id={self.query_id}, "
+            f"timestamp={self.timestamp}, k={self.k})"
+        )

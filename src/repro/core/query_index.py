@@ -1,0 +1,269 @@
+"""Grid Query-Index (paper §3.3).
+
+Instead of indexing the moving objects, the grid indexes the *queries*:
+each cell ``(i, j)`` keeps the query list ``QL(i, j)`` of all queries whose
+critical region ``Rcrit(q)`` covers the cell.  A cycle then answers every
+query with a single scan over the objects (paper Fig. 5): each object is
+offered to the answer lists of exactly the queries indexed in its cell.
+
+The Query-Index cannot be built from nothing — critical regions require
+known k-NNs — so it is *bootstrapped* from a one-shot Object-Index pass
+(the paper's own procedure).  After that, each cycle:
+
+1. recomputes ``lcrit(q)`` from the new positions of the previous answer
+   set (as in §3.2), giving the new critical rectangle;
+2. maintains the grid either by full rebuild or by the incremental
+   delete/insert of the rectangle difference;
+3. scans the objects to produce the new exact answers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from ..grid.geometry import CellRect, rect_for_radius
+from ..grid.grid2d import Grid2D, resolve_grid_size
+from .answers import AnswerList
+from .object_index import ObjectIndex
+
+
+class QueryIndex:
+    """Grid index over query critical regions.
+
+    Parameters
+    ----------
+    queries:
+        Array of shape ``(NQ, 2)`` with the (static) query positions.
+    k:
+        Number of neighbors monitored per query.
+    ncells, delta, n_objects:
+        Grid resolution; give exactly one (see
+        :func:`repro.grid.resolve_grid_size`).
+    """
+
+    def __init__(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ncells: Optional[int] = None,
+        delta: Optional[float] = None,
+        n_objects: Optional[int] = None,
+    ) -> None:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise ConfigurationError("queries must be an (NQ, 2) array")
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.grid = Grid2D(resolve_grid_size(ncells, delta, n_objects))
+        self._qx: List[float] = queries[:, 0].tolist()
+        self._qy: List[float] = queries[:, 1].tolist()
+        self._rects: List[Optional[CellRect]] = [None] * len(queries)
+        self._prev_ids: List[List[int]] = [[] for _ in range(len(queries))]
+        self._bootstrapped = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_queries(self) -> int:
+        return len(self._qx)
+
+    @property
+    def delta(self) -> float:
+        return self.grid.delta
+
+    @property
+    def bootstrapped(self) -> bool:
+        return self._bootstrapped
+
+    def critical_rect(self, query_id: int) -> Optional[CellRect]:
+        """The current critical rectangle of one query (None before bootstrap)."""
+        return self._rects[query_id]
+
+    def previous_answer_ids(self, query_id: int) -> List[int]:
+        """IDs of the previous cycle's k-NN for one query."""
+        return list(self._prev_ids[query_id])
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self, positions: np.ndarray, object_index: Optional[ObjectIndex] = None
+    ) -> List[AnswerList]:
+        """Initialise critical regions with a one-shot Object-Index pass.
+
+        An :class:`ObjectIndex` may be supplied (already built over
+        ``positions``); otherwise a temporary one at the optimal cell size
+        is constructed and discarded.
+        Returns the initial exact answers.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if self.k > len(positions):
+            raise NotEnoughObjectsError(self.k, len(positions))
+        if object_index is None:
+            object_index = ObjectIndex(n_objects=len(positions))
+            object_index.build(positions)
+        elif not object_index.built:
+            object_index.build(positions)
+        answers: List[AnswerList] = []
+        for query_id in range(self.n_queries):
+            answer = object_index.knn_overhaul(
+                self._qx[query_id], self._qy[query_id], self.k
+            )
+            answers.append(answer)
+            self._prev_ids[query_id] = answer.object_ids()
+        self._bootstrapped = True
+        self.rebuild_index(positions)
+        return answers
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _new_rect(self, query_id: int, xs: List[float], ys: List[float]) -> CellRect:
+        """Critical rectangle from the new positions of the previous k-NNs."""
+        qx = self._qx[query_id]
+        qy = self._qy[query_id]
+        worst2 = 0.0
+        for object_id in self._prev_ids[query_id]:
+            dx = xs[object_id] - qx
+            dy = ys[object_id] - qy
+            d2 = dx * dx + dy * dy
+            if d2 > worst2:
+                worst2 = d2
+        lcrit = math.sqrt(worst2)
+        return rect_for_radius(qx, qy, lcrit, self.grid.delta, self.grid.ncells)
+
+    def _check_population(self, positions: np.ndarray) -> Tuple[List[float], List[float]]:
+        if not self._bootstrapped:
+            raise IndexStateError("the Query-Index must be bootstrap()ed first")
+        n = len(positions)
+        for prev in self._prev_ids:
+            if any(not 0 <= object_id < n for object_id in prev):
+                raise IndexStateError(
+                    "population changed since bootstrap; bootstrap again"
+                )
+        return positions[:, 0].tolist(), positions[:, 1].tolist()
+
+    def rebuild_index(self, positions: np.ndarray) -> None:
+        """Overhaul maintenance: recompute every rectangle, rebuild the grid."""
+        positions = np.asarray(positions, dtype=np.float64)
+        xs, ys = self._check_population(positions)
+        grid = self.grid
+        grid.clear()
+        for query_id in range(self.n_queries):
+            rect = self._new_rect(query_id, xs, ys)
+            self._rects[query_id] = rect
+            for i, j in rect.cells():
+                grid.insert(query_id, i, j)
+
+    def update_index(self, positions: np.ndarray) -> int:
+        """Incremental maintenance: apply only rectangle differences.
+
+        The query is deleted from ``Rcrit(t) - Rcrit(t+dt)`` and inserted
+        into ``Rcrit(t+dt) - Rcrit(t)`` (paper §3.3).  Returns the number
+        of per-cell delete+insert operations performed.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        xs, ys = self._check_population(positions)
+        grid = self.grid
+        ops = 0
+        for query_id in range(self.n_queries):
+            old = self._rects[query_id]
+            new = self._new_rect(query_id, xs, ys)
+            if old == new:
+                self._rects[query_id] = new
+                continue
+            if old is not None:
+                for i, j in old.cells_not_in(new):
+                    grid.remove(query_id, i, j)
+                    ops += 1
+                for i, j in new.cells_not_in(old):
+                    grid.insert(query_id, i, j)
+                    ops += 1
+            else:  # pragma: no cover - rects always exist after bootstrap
+                for i, j in new.cells():
+                    grid.insert(query_id, i, j)
+                    ops += 1
+            self._rects[query_id] = new
+        return ops
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def answer(self, positions: np.ndarray) -> List[AnswerList]:
+        """One object scan answers every query (paper Fig. 5).
+
+        ``positions`` must be the same snapshot the index was maintained
+        with.  Updates the stored previous-answer sets as a side effect.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if not self._bootstrapped:
+            raise IndexStateError("the Query-Index must be bootstrap()ed first")
+        n = self.grid.ncells
+        ii = np.clip((positions[:, 0] * n).astype(np.intp), 0, n - 1)
+        jj = np.clip((positions[:, 1] * n).astype(np.intp), 0, n - 1)
+        flat = (jj * n + ii).tolist()
+        xs = positions[:, 0].tolist()
+        ys = positions[:, 1].tolist()
+        qx = self._qx
+        qy = self._qy
+        buckets = self.grid._buckets
+        answers = [AnswerList(self.k) for _ in range(self.n_queries)]
+        for object_id, cell in enumerate(flat):
+            bucket = buckets[cell]
+            if not bucket:
+                continue
+            x = xs[object_id]
+            y = ys[object_id]
+            for query_id in bucket:
+                dx = qx[query_id] - x
+                dy = qy[query_id] - y
+                answers[query_id].offer(dx * dx + dy * dy, object_id)
+        # The critical region construction guarantees >= k objects per
+        # query; fall back defensively if that invariant is ever violated.
+        for query_id, answer in enumerate(answers):
+            if len(answer) < self.k:  # pragma: no cover - defensive
+                fallback = ObjectIndex(n_objects=len(positions))
+                fallback.build(positions)
+                answers[query_id] = fallback.knn_overhaul(
+                    qx[query_id], qy[query_id], self.k
+                )
+            self._prev_ids[query_id] = answers[query_id].object_ids()
+        return answers
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean_rect_cells(self) -> float:
+        """Average critical-rectangle size |Rcrit| in cells (cost model input)."""
+        rects = [rect for rect in self._rects if rect is not None]
+        if not rects:
+            return 0.0
+        return sum(rect.ncells for rect in rects) / len(rects)
+
+    def mean_query_list_length(self) -> float:
+        """Average |QL| over all grid cells (cost model input)."""
+        total = self.grid.total_ids()
+        return total / (self.grid.ncells * self.grid.ncells)
+
+    def validate(self) -> None:
+        """Check that grid contents equal the union of stored rectangles."""
+        expected = 0
+        for query_id, rect in enumerate(self._rects):
+            if rect is None:
+                continue
+            expected += rect.ncells
+            for i, j in rect.cells():
+                if query_id not in self.grid.bucket(i, j):
+                    raise IndexStateError(
+                        f"query {query_id} missing from cell ({i}, {j})"
+                    )
+        if self.grid.total_ids() != expected:
+            raise IndexStateError(
+                f"grid stores {self.grid.total_ids()} entries, expected {expected}"
+            )

@@ -1,0 +1,142 @@
+"""Continuous reverse k-NN monitoring (paper §6 future work).
+
+The reverse k-NNs of a query ``q`` are the objects that count ``q`` among
+their own k nearest points: ``RkNN(q) = {p : dist(p, q) <= dk(p)}`` where
+``dk(p)`` is the distance from ``p`` to its k-th nearest *other* object
+(the *bichromatic* convention would measure against other query points;
+here the paper's monochromatic "players who see me on their radar" reading
+is used, with the query treated as an external probe point).
+
+The monitor composes two grid passes per cycle:
+
+1. a k-NN **self-join** over the objects (overhaul or incremental, see
+   :mod:`repro.core.self_join`) producing every ``dk(p)``;
+2. a **query grid** probe: each object looks up the queries within its own
+   ``dk(p)`` radius — only those can have ``p`` as a reverse neighbor.
+   Since ``dk`` radii are small (Theorem 1: ~sqrt(k / pi NP)), each probe
+   touches O(1) cells at the optimal cell size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..grid.geometry import rect_for_radius
+from ..grid.grid2d import Grid2D, resolve_grid_size
+from .self_join import SelfJoinMonitor
+
+
+class RKNNMonitor:
+    """Continuously monitor the reverse k-NNs of a set of query points.
+
+    Parameters
+    ----------
+    k:
+        Neighborhood size used in the reverse condition.
+    queries:
+        Array of shape ``(NQ, 2)`` with the query positions.
+    incremental:
+        Run the underlying self-join incrementally (default) or overhaul.
+    """
+
+    def __init__(
+        self, k: int, queries: np.ndarray, incremental: bool = True
+    ) -> None:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise ConfigurationError("queries must be an (NQ, 2) array")
+        self.k = k
+        self.queries = queries
+        self._self_join = SelfJoinMonitor(k, incremental=incremental)
+        self._query_grid: Optional[Grid2D] = None
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def set_queries(self, queries: np.ndarray) -> None:
+        """Move the query points (the count must stay fixed)."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.shape != self.queries.shape:
+            raise ConfigurationError(
+                f"query array shape changed from {self.queries.shape} "
+                f"to {queries.shape}"
+            )
+        self.queries = queries
+        self._query_grid = None  # rebuilt on the next tick
+
+    def _build_query_grid(self, n_objects: int) -> Grid2D:
+        grid = Grid2D(resolve_grid_size(n_objects=max(1, n_objects)))
+        qx = self.queries[:, 0]
+        qy = self.queries[:, 1]
+        for query_id in range(len(self.queries)):
+            i, j = grid.locate(float(qx[query_id]), float(qy[query_id]))
+            grid.insert(query_id, i, j)
+        return grid
+
+    def tick(self, positions: np.ndarray) -> List[List[int]]:
+        """Process one snapshot; returns ``RkNN`` object-ID lists per query.
+
+        Object IDs within each answer are sorted ascending.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        self._self_join.tick(positions)
+        dk = self._self_join.kth_distances()
+        if (
+            self._query_grid is None
+            or self._query_grid.ncells != resolve_grid_size(
+                n_objects=max(1, len(positions))
+            )
+        ):
+            self._query_grid = self._build_query_grid(len(positions))
+        grid = self._query_grid
+        qx = self.queries[:, 0].tolist()
+        qy = self.queries[:, 1].tolist()
+        xs = positions[:, 0].tolist()
+        ys = positions[:, 1].tolist()
+        answers: List[List[int]] = [[] for _ in range(len(self.queries))]
+        delta = grid.delta
+        ncells = grid.ncells
+        buckets = grid._buckets
+        for object_id in range(len(positions)):
+            radius = dk[object_id]
+            px = xs[object_id]
+            py = ys[object_id]
+            radius2 = radius * radius
+            rect = rect_for_radius(px, py, radius, delta, ncells)
+            for j in range(rect.jlo, rect.jhi + 1):
+                base = j * ncells
+                for i in range(rect.ilo, rect.ihi + 1):
+                    for query_id in buckets[base + i]:
+                        dx = qx[query_id] - px
+                        dy = qy[query_id] - py
+                        if dx * dx + dy * dy <= radius2:
+                            answers[query_id].append(object_id)
+        return answers
+
+    def kth_distances(self) -> List[float]:
+        """The per-object dk values from the last tick (for diagnostics)."""
+        return self._self_join.kth_distances()
+
+
+def brute_force_rknn(
+    positions: np.ndarray, queries: np.ndarray, k: int
+) -> List[List[int]]:
+    """Reverse k-NN ground truth by full pairwise distances (tests only)."""
+    positions = np.asarray(positions, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    n = len(positions)
+    if n < k + 1:
+        raise ConfigurationError(f"need at least k+1={k + 1} objects, have {n}")
+    diff = positions[:, None, :] - positions[None, :, :]
+    pair = np.sqrt(np.sum(diff * diff, axis=2))
+    np.fill_diagonal(pair, np.inf)
+    dk = np.sort(pair, axis=1)[:, k - 1]
+    answers: List[List[int]] = []
+    for qx, qy in queries:
+        d = np.sqrt((positions[:, 0] - qx) ** 2 + (positions[:, 1] - qy) ** 2)
+        answers.append(np.nonzero(d <= dk + 1e-12)[0].tolist())
+    return answers

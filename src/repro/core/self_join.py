@@ -1,0 +1,151 @@
+"""k-NN self-join over the moving-object population.
+
+For every object ``p``, find its k nearest *other* objects.  This is the
+"spatial join of moving objects" the paper lists as future work (§6), and
+it is also the computational core of reverse k-NN monitoring: ``p`` is a
+reverse k-NN of query ``q`` exactly when ``dist(p, q) <= dk(p)``, the
+distance from ``p`` to its own k-th nearest neighbor.
+
+The join runs over a built :class:`~repro.core.object_index.ObjectIndex`
+and supports the same overhaul/incremental duality as ordinary queries:
+the incremental variant seeds each object's critical radius from its
+previous neighbor set (§3.2 applied per object).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotEnoughObjectsError
+from .answers import AnswerList
+from .object_index import ObjectIndex
+
+
+def _knn_excluding_self(
+    index: ObjectIndex, object_id: int, k: int
+) -> AnswerList:
+    """k-NN of an object among the *other* objects.
+
+    Asks the index for ``k + 1`` neighbors (the object itself is at
+    distance zero) and strips the object from the answer.  Exact ties at
+    distance zero are handled by filtering on ID, not on distance.
+    """
+    qx, qy = index.position_of(object_id)
+    raw = index.knn_overhaul(qx, qy, k + 1)
+    answers = AnswerList(k)
+    for d2, other_id in raw:
+        if other_id != object_id:
+            answers.offer(d2, other_id)
+    return answers
+
+
+def knn_self_join(index: ObjectIndex, k: int) -> List[AnswerList]:
+    """Overhaul k-NN self-join: each object's k nearest other objects."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if index.n_objects < k + 1:
+        raise NotEnoughObjectsError(k + 1, index.n_objects)
+    return [
+        _knn_excluding_self(index, object_id, k)
+        for object_id in range(index.n_objects)
+    ]
+
+
+def knn_self_join_incremental(
+    index: ObjectIndex,
+    k: int,
+    previous: Sequence[Sequence[int]],
+) -> List[AnswerList]:
+    """Incremental k-NN self-join seeded from the previous neighbor sets.
+
+    ``previous[p]`` is object ``p``'s neighbor-ID list from the last cycle;
+    an empty or stale entry falls back to the overhaul path for that
+    object.  Exactness follows §3.2: the circle around ``p`` through the
+    new positions of its old neighbors still contains ``k`` other objects.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    n = index.n_objects
+    if n < k + 1:
+        raise NotEnoughObjectsError(k + 1, n)
+    if len(previous) != n:
+        raise ConfigurationError(
+            f"previous has {len(previous)} entries for {n} objects"
+        )
+    out: List[AnswerList] = []
+    for object_id in range(n):
+        seeds = previous[object_id]
+        if len(seeds) < k or any(not 0 <= s < n or s == object_id for s in seeds):
+            out.append(_knn_excluding_self(index, object_id, k))
+            continue
+        qx, qy = index.position_of(object_id)
+        raw = index.knn_incremental(qx, qy, k + 1, list(seeds) + [object_id])
+        answers = AnswerList(k)
+        for d2, other_id in raw:
+            if other_id != object_id:
+                answers.offer(d2, other_id)
+        if len(answers) < k:  # pragma: no cover - defensive
+            answers = _knn_excluding_self(index, object_id, k)
+        out.append(answers)
+    return out
+
+
+class SelfJoinMonitor:
+    """Continuously maintain the k-NN self-join over moving objects.
+
+    The monitor owns its object index (optimal cell size per snapshot) and
+    keeps the previous neighbor sets so steady-state cycles run on the
+    incremental path.
+    """
+
+    def __init__(self, k: int, incremental: bool = True) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.incremental = incremental
+        self._index: Optional[ObjectIndex] = None
+        self._previous: List[List[int]] = []
+
+    @property
+    def index(self) -> Optional[ObjectIndex]:
+        return self._index
+
+    def tick(self, positions: np.ndarray) -> List[AnswerList]:
+        """Process one snapshot; returns per-object neighbor lists."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if self._index is None or self._index.n_objects != len(positions):
+            self._index = ObjectIndex(n_objects=max(1, len(positions)))
+            self._index.build(positions)
+            self._previous = []
+        else:
+            self._index.build(positions)
+        if self.incremental and len(self._previous) == len(positions):
+            answers = knn_self_join_incremental(self._index, self.k, self._previous)
+        else:
+            answers = knn_self_join(self._index, self.k)
+        self._previous = [answer.object_ids() for answer in answers]
+        return answers
+
+    def kth_distances(self) -> List[float]:
+        """Per-object distance to the k-th nearest other object (dk).
+
+        Valid after :meth:`tick`; this is the quantity reverse-kNN
+        monitoring filters on.
+        """
+        if not self._previous or self._index is None:
+            raise ConfigurationError("tick() must run before kth_distances()")
+        index = self._index
+        out: List[float] = []
+        for object_id, neighbor_ids in enumerate(self._previous):
+            px, py = index.position_of(object_id)
+            worst2 = 0.0
+            for other_id in neighbor_ids:
+                ox, oy = index.position_of(other_id)
+                d2 = (ox - px) ** 2 + (oy - py) ** 2
+                if d2 > worst2:
+                    worst2 = d2
+            out.append(math.sqrt(worst2))
+        return out

@@ -1,0 +1,32 @@
+"""Geometry primitives and the dense 2D grid substrate."""
+
+from .geometry import (
+    CellRect,
+    cell_of,
+    cells_ring,
+    clamp,
+    dist,
+    dist2,
+    min_dist2_point_box,
+    min_dist2_point_cell,
+    rect_centered,
+    rect_for_radius,
+    rect_paper_rcrit,
+)
+from .grid2d import Grid2D, resolve_grid_size
+
+__all__ = [
+    "CellRect",
+    "Grid2D",
+    "cell_of",
+    "cells_ring",
+    "clamp",
+    "dist",
+    "dist2",
+    "min_dist2_point_box",
+    "min_dist2_point_cell",
+    "rect_centered",
+    "rect_for_radius",
+    "rect_paper_rcrit",
+    "resolve_grid_size",
+]

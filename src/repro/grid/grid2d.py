@@ -1,0 +1,177 @@
+"""A dense regular grid of buckets over the unit square.
+
+This is the shared physical structure behind both the Object-Index (buckets
+hold object IDs, the paper's ``PL(i, j)``) and the Query-Index (buckets hold
+query IDs, the paper's ``QL(i, j)``).  Buckets are plain Python lists; the
+grid itself is a flat list indexed by ``j * ncells + i`` which profiles
+measurably faster than a list-of-lists in CPython.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, IndexStateError
+from .geometry import CellRect, cell_of
+
+
+def resolve_grid_size(
+    ncells: "int | None" = None,
+    delta: "float | None" = None,
+    n_objects: "int | None" = None,
+) -> int:
+    """Resolve the number of cells per side from one of three specs.
+
+    Exactly one of ``ncells``, ``delta``, or ``n_objects`` should be given.
+    ``n_objects`` applies the paper's Theorem 1 optimum
+    ``delta* = 1 / sqrt(NP)``, i.e. ``ncells = round(sqrt(NP))``.
+    """
+    given = sum(arg is not None for arg in (ncells, delta, n_objects))
+    if given != 1:
+        raise ConfigurationError(
+            "specify exactly one of ncells=, delta=, n_objects="
+        )
+    if ncells is not None:
+        size = int(ncells)
+    elif delta is not None:
+        if not 0.0 < delta <= 1.0:
+            raise ConfigurationError(f"cell size delta={delta!r} not in (0, 1]")
+        size = max(1, int(round(1.0 / delta)))
+    else:
+        assert n_objects is not None
+        if n_objects < 0:
+            raise ConfigurationError(f"n_objects={n_objects!r} must be >= 0")
+        size = max(1, int(round(math.sqrt(max(1, n_objects)))))
+    if size < 1:
+        raise ConfigurationError(f"grid must have at least one cell, got {size}")
+    return size
+
+
+class Grid2D:
+    """A ``G x G`` grid of ID buckets over ``[0, 1)^2``.
+
+    Parameters
+    ----------
+    ncells:
+        Number of cells per side, ``G``.  The cell side is ``1 / G``.
+    """
+
+    __slots__ = ("ncells", "delta", "_buckets")
+
+    def __init__(self, ncells: int) -> None:
+        if ncells < 1:
+            raise ConfigurationError(f"ncells must be >= 1, got {ncells}")
+        self.ncells = ncells
+        self.delta = 1.0 / ncells
+        self._buckets: List[List[int]] = [[] for _ in range(ncells * ncells)]
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def locate(self, x: float, y: float) -> Tuple[int, int]:
+        """The cell containing point ``(x, y)`` (boundary-clamped)."""
+        return cell_of(x, y, self.delta, self.ncells)
+
+    def bucket(self, i: int, j: int) -> List[int]:
+        """The mutable bucket of cell ``(i, j)``."""
+        return self._buckets[j * self.ncells + i]
+
+    def bucket_at(self, x: float, y: float) -> List[int]:
+        """The bucket of the cell containing point ``(x, y)``."""
+        i, j = self.locate(x, y)
+        return self._buckets[j * self.ncells + i]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Empty every bucket (cheaper than reallocating the grid)."""
+        for bucket in self._buckets:
+            bucket.clear()
+
+    def insert(self, ident: int, i: int, j: int) -> None:
+        """Append ``ident`` to the bucket of cell ``(i, j)``."""
+        self._buckets[j * self.ncells + i].append(ident)
+
+    def remove(self, ident: int, i: int, j: int) -> None:
+        """Remove ``ident`` from the bucket of cell ``(i, j)``.
+
+        Raises
+        ------
+        IndexStateError
+            If the bucket does not contain ``ident``; this always indicates
+            a maintenance bug in the caller, so it is surfaced loudly.
+        """
+        bucket = self._buckets[j * self.ncells + i]
+        try:
+            bucket.remove(ident)
+        except ValueError:
+            raise IndexStateError(
+                f"id {ident} not present in cell ({i}, {j})"
+            ) from None
+
+    def bulk_load_points(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Rebuild the grid from scratch for points with IDs ``0..n-1``.
+
+        This implements the paper's overhaul index build (a single linear
+        scan of the objects).  The cell of every point is computed with a
+        vectorised floor division; the bucket fill remains a linear scan.
+        """
+        self.clear()
+        if len(xs) == 0:
+            return
+        n = self.ncells
+        ii = np.clip((xs * n).astype(np.intp), 0, n - 1)
+        jj = np.clip((ys * n).astype(np.intp), 0, n - 1)
+        flat = jj * n + ii
+        buckets = self._buckets
+        for ident, cell in enumerate(flat.tolist()):
+            buckets[cell].append(ident)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    def count_in_rect(self, rect: CellRect) -> int:
+        """Total number of IDs stored in the cells of ``rect``."""
+        buckets = self._buckets
+        n = self.ncells
+        total = 0
+        for j in range(rect.jlo, rect.jhi + 1):
+            base = j * n
+            for i in range(rect.ilo, rect.ihi + 1):
+                total += len(buckets[base + i])
+        return total
+
+    def ids_in_rect(self, rect: CellRect) -> List[int]:
+        """All IDs stored in the cells of ``rect`` (duplicates preserved)."""
+        out: List[int] = []
+        buckets = self._buckets
+        n = self.ncells
+        for j in range(rect.jlo, rect.jhi + 1):
+            base = j * n
+            for i in range(rect.ilo, rect.ihi + 1):
+                out.extend(buckets[base + i])
+        return out
+
+    def ids_in_cells(self, cells: Iterable[Tuple[int, int]]) -> List[int]:
+        """All IDs stored in the given cells."""
+        out: List[int] = []
+        buckets = self._buckets
+        n = self.ncells
+        for i, j in cells:
+            out.extend(buckets[j * n + i])
+        return out
+
+    def occupancy(self) -> Sequence[int]:
+        """Bucket sizes in flat ``j * G + i`` order (for stats and tests)."""
+        return [len(bucket) for bucket in self._buckets]
+
+    def total_ids(self) -> int:
+        """Total number of stored IDs across all buckets."""
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Grid2D(ncells={self.ncells}, ids={self.total_ids()})"

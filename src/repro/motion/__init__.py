@@ -1,0 +1,31 @@
+"""Moving-object datasets and motion models."""
+
+from .datasets import (
+    gaussian_clusters_dataset,
+    hi_skewed_dataset,
+    make_dataset,
+    make_queries,
+    skewed_dataset,
+    skewness_statistic,
+    uniform_dataset,
+)
+from .dispersion import DispersionProcess
+from .linear import LinearMotionModel
+from .random_walk import RandomWalkModel, reflect_into_unit
+from .trace import MotionTrace, TraceReplay
+
+__all__ = [
+    "DispersionProcess",
+    "LinearMotionModel",
+    "MotionTrace",
+    "RandomWalkModel",
+    "TraceReplay",
+    "gaussian_clusters_dataset",
+    "hi_skewed_dataset",
+    "make_dataset",
+    "make_queries",
+    "reflect_into_unit",
+    "skewed_dataset",
+    "skewness_statistic",
+    "uniform_dataset",
+]

@@ -1,0 +1,112 @@
+"""Piecewise-linear motion: the model predictive indexes assume.
+
+TPR-tree-style predictive query processing (§2 of the paper) assumes every
+object moves with a known constant velocity until it issues an update.
+:class:`LinearMotionModel` generates exactly that world: each object
+carries a velocity vector; each cycle it advances linearly, reflecting off
+the region walls, and with probability ``change_probability`` it draws a
+fresh velocity (issuing an "update" in the predictive-index sense).
+
+``change_probability=0`` is the TPR-tree's best case (perfect prediction
+forever); ``change_probability=1`` is the paper's adversarial case where
+"the velocities of the objects are constantly changing" and the TPR-tree
+degenerates to an R-tree (§5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class LinearMotionModel:
+    """Constant-velocity motion with occasional velocity changes.
+
+    Parameters
+    ----------
+    n:
+        Population size (velocities are per-object state).
+    vmax:
+        Maximum speed per axis; velocities are drawn uniformly from
+        ``[-vmax, vmax]`` per axis.
+    change_probability:
+        Per-cycle probability that an object redraws its velocity.
+    seed:
+        Seed for the generator.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        vmax: float = 0.005,
+        change_probability: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        if vmax < 0.0:
+            raise ConfigurationError(f"vmax must be >= 0, got {vmax}")
+        if not 0.0 <= change_probability <= 1.0:
+            raise ConfigurationError(
+                f"change_probability={change_probability!r} must be in [0, 1]"
+            )
+        self.n = n
+        self.vmax = vmax
+        self.change_probability = change_probability
+        self._rng = np.random.default_rng(seed)
+        self.velocities = self._rng.uniform(-vmax, vmax, size=(n, 2))
+        #: IDs whose velocity changed on the most recent step (the update
+        #: stream a predictive index would receive).
+        self.last_changed: np.ndarray = np.arange(n)
+
+    def step(self, positions: np.ndarray) -> np.ndarray:
+        """Advance one cycle; returns the new positions.
+
+        Velocity redraws happen *before* the move, so ``last_changed``
+        lists the objects whose stored velocity a predictive index must
+        refresh to keep its answers valid for this step.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if len(positions) != self.n:
+            raise ConfigurationError(
+                f"positions has {len(positions)} rows for a population of {self.n}"
+            )
+        if self.change_probability > 0.0 and self.n:
+            changing = self._rng.random(self.n) < self.change_probability
+            n_changing = int(np.count_nonzero(changing))
+            if n_changing:
+                self.velocities[changing] = self._rng.uniform(
+                    -self.vmax, self.vmax, size=(n_changing, 2)
+                )
+            self.last_changed = np.nonzero(changing)[0]
+        else:
+            self.last_changed = np.empty(0, dtype=np.intp)
+        moved = positions + self.velocities
+        # Reflect at the walls, flipping the corresponding velocity so the
+        # stored vector stays consistent with the actual motion.
+        for axis in range(2):
+            low = moved[:, axis] < 0.0
+            high = moved[:, axis] >= 1.0
+            moved[low, axis] = -moved[low, axis]
+            moved[high, axis] = 2.0 * (1.0 - 1e-9) - moved[high, axis]
+            flipped = low | high
+            self.velocities[flipped, axis] = -self.velocities[flipped, axis]
+            if np.any(flipped):
+                self.last_changed = np.union1d(
+                    self.last_changed, np.nonzero(flipped)[0]
+                )
+        return np.clip(moved, 0.0, 1.0 - 1e-9)
+
+    def predicted_positions(
+        self, positions: np.ndarray, cycles_ahead: float
+    ) -> np.ndarray:
+        """Linear extrapolation ``p + v * cycles_ahead`` (no reflection).
+
+        This is the world-model a predictive index answers against; it is
+        only correct while no velocity changes or wall bounces occur.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        return positions + self.velocities * cycles_ahead

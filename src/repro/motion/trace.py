@@ -1,0 +1,127 @@
+"""Motion traces: record a simulation once, replay it deterministically.
+
+Benchmark fairness requires every method to see the *same* motion.  A
+:class:`MotionTrace` captures the snapshot sequence produced by any motion
+model (random walk, road network, dispersion, linear) and replays it as a
+drop-in ``step``-compatible source — including to and from ``.npz`` files,
+so a workload can be shipped alongside results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class MotionTrace:
+    """An immutable sequence of position snapshots.
+
+    ``trace[0]`` is the initial configuration; each subsequent snapshot is
+    one monitoring cycle later.
+    """
+
+    def __init__(self, snapshots: List[np.ndarray]) -> None:
+        if not snapshots:
+            raise ConfigurationError("a trace needs at least one snapshot")
+        arrays = [np.asarray(s, dtype=np.float64) for s in snapshots]
+        shape = arrays[0].shape
+        if len(shape) != 2 or shape[1] != 2:
+            raise ConfigurationError("snapshots must be (n, 2) arrays")
+        for snapshot in arrays[1:]:
+            if snapshot.shape != shape:
+                raise ConfigurationError(
+                    "all snapshots in a trace must have the same shape"
+                )
+        self._snapshots = arrays
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def record(
+        cls, initial: np.ndarray, motion, cycles: int
+    ) -> "MotionTrace":
+        """Drive ``motion.step`` for ``cycles`` cycles and keep everything."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be >= 0, got {cycles}")
+        snapshots = [np.asarray(initial, dtype=np.float64).copy()]
+        current = snapshots[0]
+        for _ in range(cycles):
+            current = motion.step(current)
+            snapshots.append(np.asarray(current, dtype=np.float64).copy())
+        return cls(snapshots)
+
+    @classmethod
+    def load(cls, path: str) -> "MotionTrace":
+        """Load a trace previously written with :meth:`save`."""
+        with np.load(path) as data:
+            count = int(data["count"])
+            snapshots = [data[f"snapshot_{i}"] for i in range(count)]
+        return cls(snapshots)
+
+    def save(self, path: str) -> None:
+        """Write the trace to a compressed ``.npz`` file."""
+        arrays = {
+            f"snapshot_{i}": snapshot
+            for i, snapshot in enumerate(self._snapshots)
+        }
+        np.savez_compressed(path, count=len(self._snapshots), **arrays)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        """Number of motion steps recorded (snapshots minus one)."""
+        return len(self._snapshots) - 1
+
+    @property
+    def n_objects(self) -> int:
+        return self._snapshots[0].shape[0]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._snapshots[index]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._snapshots)
+
+    def replay(self) -> "TraceReplay":
+        """A fresh ``step``-compatible replayer over this trace."""
+        return TraceReplay(self)
+
+
+class TraceReplay:
+    """Replays a :class:`MotionTrace` through the ``step`` protocol.
+
+    ``step`` ignores its ``positions`` argument (the trace is the truth)
+    and raises once the trace is exhausted.
+    """
+
+    def __init__(self, trace: MotionTrace) -> None:
+        self.trace = trace
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= self.trace.cycles
+
+    def initial(self) -> np.ndarray:
+        """The trace's starting configuration."""
+        return self.trace[0]
+
+    def step(self, positions: Optional[np.ndarray] = None) -> np.ndarray:
+        if self.exhausted:
+            raise ConfigurationError(
+                f"trace exhausted after {self.trace.cycles} cycles"
+            )
+        self._cursor += 1
+        return self.trace[self._cursor]
+
+    def rewind(self) -> None:
+        self._cursor = 0

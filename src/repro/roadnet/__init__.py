@@ -1,0 +1,12 @@
+"""Road-network substrate (substitute for the paper's Illinois roadmap)."""
+
+from .generator import synthetic_road_network
+from .network import RoadNetwork
+from .simulator import RoadNetworkModel, roadnet_dataset
+
+__all__ = [
+    "RoadNetwork",
+    "RoadNetworkModel",
+    "roadnet_dataset",
+    "synthetic_road_network",
+]

@@ -1,0 +1,108 @@
+"""Road-network graph used by the road-constrained motion simulation.
+
+A :class:`RoadNetwork` is an undirected planar graph embedded in the unit
+square: intersections are nodes with coordinates, road segments are edges
+with Euclidean lengths.  It is deliberately minimal — just what the
+simulator in :mod:`repro.roadnet.simulator` needs: adjacency, edge
+interpolation, and degree statistics ("objects start near the major
+intersections", paper §5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+Edge = Tuple[int, int]
+
+
+class RoadNetwork:
+    """An undirected embedded graph of intersections and road segments."""
+
+    def __init__(
+        self, node_positions: np.ndarray, edges: Iterable[Edge]
+    ) -> None:
+        node_positions = np.asarray(node_positions, dtype=np.float64)
+        if node_positions.ndim != 2 or node_positions.shape[1] != 2:
+            raise ConfigurationError("node_positions must be an (n, 2) array")
+        self.node_positions = node_positions
+        n = len(node_positions)
+        self.adjacency: List[List[int]] = [[] for _ in range(n)]
+        self._edge_set = set()
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        n = len(self.node_positions)
+        if not (0 <= u < n and 0 <= v < n):
+            raise ConfigurationError(f"edge ({u}, {v}) references unknown nodes")
+        if u == v:
+            raise ConfigurationError(f"self-loop at node {u} is not a road")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self.adjacency[u].append(v)
+        self.adjacency[v].append(u)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_positions)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edge_set)
+
+    def edges(self) -> Sequence[Edge]:
+        return sorted(self._edge_set)
+
+    def degree(self, node: int) -> int:
+        return len(self.adjacency[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.asarray([len(nbrs) for nbrs in self.adjacency], dtype=np.intp)
+
+    def edge_length(self, u: int, v: int) -> float:
+        ax, ay = self.node_positions[u]
+        bx, by = self.node_positions[v]
+        return math.hypot(bx - ax, by - ay)
+
+    def point_on_edge(self, u: int, v: int, fraction: float) -> Tuple[float, float]:
+        """Point at ``fraction`` in [0, 1] of the way from ``u`` to ``v``."""
+        ax, ay = self.node_positions[u]
+        bx, by = self.node_positions[v]
+        return ax + (bx - ax) * fraction, ay + (by - ay) * fraction
+
+    def is_connected(self) -> bool:
+        """Whether every node is reachable from node 0 (BFS)."""
+        n = self.n_nodes
+        if n == 0:
+            return True
+        seen = [False] * n
+        stack = [0]
+        seen[0] = True
+        reached = 1
+        while stack:
+            node = stack.pop()
+            for nbr in self.adjacency[node]:
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    reached += 1
+                    stack.append(nbr)
+        return reached == n
+
+    def major_intersections(self, count: int) -> np.ndarray:
+        """IDs of the ``count`` highest-degree nodes (ties by ID)."""
+        degrees = self.degrees()
+        order = np.lexsort((np.arange(self.n_nodes), -degrees))
+        return order[:count]

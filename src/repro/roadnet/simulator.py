@@ -1,0 +1,159 @@
+"""Objects moving along a road network (paper §5.2, Fig. 10).
+
+"Objects start near the major intersections, and then randomly move along
+the roads."  Each object carries its current edge ``(u, v)``, its offset
+along the edge, and a per-object speed.  At every cycle the object advances
+along its edge; on reaching an intersection it picks a random incident road
+(avoiding an immediate U-turn when possible) and continues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .generator import synthetic_road_network
+from .network import RoadNetwork
+
+
+class RoadNetworkModel:
+    """Road-constrained motion model with the same ``step`` API as
+    :class:`repro.motion.RandomWalkModel`.
+
+    Parameters
+    ----------
+    network:
+        The road network; if omitted a default synthetic one is generated.
+    n:
+        Population size.
+    vmax:
+        Maximum per-cycle travel distance; per-object speeds are drawn
+        uniformly from ``[vmax / 2, vmax]``.
+    start_near_major:
+        Fraction of objects seeded at the highest-degree intersections
+        (the rest start at random nodes).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        vmax: float = 0.005,
+        network: Optional[RoadNetwork] = None,
+        start_near_major: float = 0.8,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        if vmax <= 0.0:
+            raise ConfigurationError(f"vmax must be > 0, got {vmax}")
+        if not 0.0 <= start_near_major <= 1.0:
+            raise ConfigurationError(
+                f"start_near_major={start_near_major!r} must be in [0, 1]"
+            )
+        self._rng = np.random.default_rng(seed)
+        self.network = (
+            network
+            if network is not None
+            else synthetic_road_network(seed=int(self._rng.integers(0, 2**31)))
+        )
+        if self.network.n_edges == 0:
+            raise ConfigurationError("the road network has no edges")
+        self.n = n
+        self.vmax = vmax
+        self._speed = self._rng.uniform(vmax / 2.0, vmax, size=n)
+        self._from: List[int] = []
+        self._to: List[int] = []
+        self._offset = np.zeros(n)
+        self._seed_objects(start_near_major)
+
+    def _seed_objects(self, start_near_major: float) -> None:
+        """Place objects on edges incident to their start intersections."""
+        network = self.network
+        n_major = max(1, network.n_nodes // 20)
+        major = network.major_intersections(n_major)
+        for object_id in range(self.n):
+            if self._rng.random() < start_near_major:
+                node = int(major[self._rng.integers(0, len(major))])
+            else:
+                node = int(self._rng.integers(0, network.n_nodes))
+            neighbors = network.adjacency[node]
+            while not neighbors:  # isolated nodes cannot host traffic
+                node = int(self._rng.integers(0, network.n_nodes))
+                neighbors = network.adjacency[node]
+            nxt = int(neighbors[self._rng.integers(0, len(neighbors))])
+            self._from.append(node)
+            self._to.append(nxt)
+            # Start a short way down the road (never past its far end).
+            length = network.edge_length(node, nxt)
+            self._offset[object_id] = float(self._rng.random()) * 0.2 * length
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def positions(self) -> np.ndarray:
+        """Current snapshot of all object positions, shape ``(n, 2)``."""
+        out = np.empty((self.n, 2))
+        network = self.network
+        for object_id in range(self.n):
+            u = self._from[object_id]
+            v = self._to[object_id]
+            length = network.edge_length(u, v)
+            fraction = 0.0 if length == 0.0 else min(
+                1.0, self._offset[object_id] / length
+            )
+            out[object_id] = network.point_on_edge(u, v, fraction)
+        return out
+
+    def step(self, positions: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance every object one cycle and return the new snapshot.
+
+        ``positions`` is accepted (and ignored) so the model is drop-in
+        compatible with :class:`repro.motion.RandomWalkModel.step`.
+        """
+        network = self.network
+        rng = self._rng
+        for object_id in range(self.n):
+            travel = self._speed[object_id]
+            offset = self._offset[object_id] + travel
+            u = self._from[object_id]
+            v = self._to[object_id]
+            length = network.edge_length(u, v)
+            # Cross as many intersections as the travel distance covers.
+            while offset >= length:
+                offset -= length
+                u, v = v, self._next_road(u, v)
+                length = network.edge_length(u, v)
+            self._from[object_id] = u
+            self._to[object_id] = v
+            self._offset[object_id] = offset
+        return self.positions()
+
+    def _next_road(self, came_from: int, at_node: int) -> int:
+        """Pick the next road at an intersection, avoiding U-turns if possible."""
+        neighbors = self.network.adjacency[at_node]
+        if len(neighbors) == 1:
+            return neighbors[0]
+        choices = [nbr for nbr in neighbors if nbr != came_from]
+        return choices[self._rng.integers(0, len(choices))]
+
+    def run(self, positions: Optional[np.ndarray] = None, cycles: int = 1):
+        """Yield ``cycles`` successive snapshots."""
+        for _ in range(cycles):
+            yield self.step()
+
+
+def roadnet_dataset(
+    n: int, warmup_cycles: int = 50, seed: Optional[int] = None
+) -> np.ndarray:
+    """A one-shot road-network point distribution (Fig. 10 analogue).
+
+    Runs the simulator for ``warmup_cycles`` so objects spread out from the
+    major intersections along the roads.
+    """
+    model = RoadNetworkModel(n, seed=seed)
+    snapshot = model.positions()
+    for _ in range(warmup_cycles):
+        snapshot = model.step()
+    return snapshot

@@ -1,0 +1,6 @@
+"""Main-memory R-tree baseline (paper §5.4)."""
+
+from .node import RNode
+from .rtree import RTree
+
+__all__ = ["RNode", "RTree"]

@@ -1,0 +1,98 @@
+"""R-tree node structure.
+
+Nodes carry their own minimum bounding rectangle (MBR) as four plain float
+slots — profiling shows this beats tuples or nested objects in CPython.
+Leaf nodes store object IDs (point coordinates live in the owning
+:class:`~repro.rtree.rtree.RTree`); internal nodes store child nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+class RNode:
+    """One R-tree node (leaf or internal)."""
+
+    __slots__ = ("leaf", "ids", "children", "parent", "xlo", "ylo", "xhi", "yhi")
+
+    def __init__(self, leaf: bool, parent: Optional["RNode"] = None) -> None:
+        self.leaf = leaf
+        self.ids: List[int] = [] if leaf else []
+        self.children: List["RNode"] = []
+        self.parent = parent
+        self.xlo = math.inf
+        self.ylo = math.inf
+        self.xhi = -math.inf
+        self.yhi = -math.inf
+
+    # ------------------------------------------------------------------
+    # MBR manipulation
+    # ------------------------------------------------------------------
+    def reset_mbr(self) -> None:
+        self.xlo = math.inf
+        self.ylo = math.inf
+        self.xhi = -math.inf
+        self.yhi = -math.inf
+
+    def include_point(self, x: float, y: float) -> None:
+        if x < self.xlo:
+            self.xlo = x
+        if x > self.xhi:
+            self.xhi = x
+        if y < self.ylo:
+            self.ylo = y
+        if y > self.yhi:
+            self.yhi = y
+
+    def include_node(self, other: "RNode") -> None:
+        if other.xlo < self.xlo:
+            self.xlo = other.xlo
+        if other.xhi > self.xhi:
+            self.xhi = other.xhi
+        if other.ylo < self.ylo:
+            self.ylo = other.ylo
+        if other.yhi > self.yhi:
+            self.yhi = other.yhi
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
+
+    def area(self) -> float:
+        if self.xhi < self.xlo:
+            return 0.0
+        return (self.xhi - self.xlo) * (self.yhi - self.ylo)
+
+    def enlargement_for(self, x: float, y: float) -> float:
+        """Area increase needed for this MBR to cover point ``(x, y)``."""
+        xlo = self.xlo if self.xlo < x else x
+        xhi = self.xhi if self.xhi > x else x
+        ylo = self.ylo if self.ylo < y else y
+        yhi = self.yhi if self.yhi > y else y
+        return (xhi - xlo) * (yhi - ylo) - self.area()
+
+    def min_dist2(self, px: float, py: float) -> float:
+        """Squared MINDIST from a point to this MBR (Roussopoulos et al.)."""
+        dx = 0.0
+        if px < self.xlo:
+            dx = self.xlo - px
+        elif px > self.xhi:
+            dx = px - self.xhi
+        dy = 0.0
+        if py < self.ylo:
+            dy = self.ylo - py
+        elif py > self.yhi:
+            dy = py - self.yhi
+        return dx * dx + dy * dy
+
+    def size(self) -> int:
+        """Number of entries (IDs for leaves, children for internals)."""
+        return len(self.ids) if self.leaf else len(self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.leaf else "node"
+        return (
+            f"<RNode {kind} n={self.size()} "
+            f"mbr=({self.xlo:.3f},{self.ylo:.3f})-({self.xhi:.3f},{self.yhi:.3f})>"
+        )

@@ -1,0 +1,494 @@
+"""Main-memory R-tree over moving points.
+
+This is the comparison baseline of the paper's §5.4, re-implemented from
+scratch (the paper used the UCR Spatial Index Library):
+
+* Guttman insertion with quadratic split;
+* deletion with tree condensation and orphan re-insertion;
+* STR bulk loading for the "R-tree overhaul" maintenance strategy, which
+  rebuilds the whole tree each cycle;
+* the Lee et al. (VLDB 2003) *bottom-up update* path for moving points,
+  which modifies the tree locally instead of doing a full delete+insert
+  (see :meth:`RTree.update_bottom_up`);
+* best-first exact k-NN search (MINDIST-ordered branch and bound).
+
+Only points are indexed (the monitoring workload never stores extended
+geometry), which keeps entries as bare object IDs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from ..core.answers import AnswerList
+from .node import RNode
+
+
+class RTree:
+    """A dynamic main-memory R-tree for 2D points.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity ``M`` (default 32, a typical main-memory fanout).
+    min_entries:
+        Underflow threshold ``m``; defaults to ``max(2, M * 2 // 5)`` (the
+        classic 40% fill guarantee).
+    """
+
+    def __init__(self, max_entries: int = 32, min_entries: Optional[int] = None) -> None:
+        if max_entries < 4:
+            raise ConfigurationError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = (
+            max(2, max_entries * 2 // 5) if min_entries is None else min_entries
+        )
+        if not 1 <= self.min_entries <= max_entries // 2:
+            raise ConfigurationError(
+                f"min_entries={self.min_entries} must be in [1, max_entries/2]"
+            )
+        self._root = RNode(leaf=True)
+        self._x: Dict[int, float] = {}
+        self._y: Dict[int, float] = {}
+        self._leaf_of: Dict[int, RNode] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._x)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        node = self._root
+        levels = 1
+        while not node.leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def position_of(self, object_id: int) -> Tuple[float, float]:
+        return self._x[object_id], self._y[object_id]
+
+    # ------------------------------------------------------------------
+    # Insertion (Guttman, quadratic split)
+    # ------------------------------------------------------------------
+    def insert(self, object_id: int, x: float, y: float) -> None:
+        """Insert one point; ``object_id`` must not already be present."""
+        if object_id in self._x:
+            raise IndexStateError(f"object {object_id} is already indexed")
+        self._x[object_id] = x
+        self._y[object_id] = y
+        leaf = self._choose_leaf(self._root, x, y)
+        leaf.ids.append(object_id)
+        leaf.include_point(x, y)
+        self._leaf_of[object_id] = leaf
+        self._handle_overflow(leaf)
+        self._adjust_upward(leaf.parent)
+
+    def _choose_leaf(self, node: RNode, x: float, y: float) -> RNode:
+        while not node.leaf:
+            best = None
+            best_enlargement = math.inf
+            best_area = math.inf
+            for child in node.children:
+                enlargement = child.enlargement_for(x, y)
+                area = child.area()
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best = child
+                    best_enlargement = enlargement
+                    best_area = area
+            assert best is not None
+            node = best
+        return node
+
+    def _adjust_upward(self, node: Optional[RNode]) -> None:
+        """Re-tighten MBRs from ``node`` to the root."""
+        while node is not None:
+            node.reset_mbr()
+            for child in node.children:
+                node.include_node(child)
+            node = node.parent
+
+    def _handle_overflow(self, node: RNode) -> None:
+        while node.size() > self.max_entries:
+            sibling = self._split_quadratic(node)
+            parent = node.parent
+            if parent is None:
+                new_root = RNode(leaf=False)
+                new_root.children.append(node)
+                new_root.children.append(sibling)
+                node.parent = new_root
+                sibling.parent = new_root
+                new_root.include_node(node)
+                new_root.include_node(sibling)
+                self._root = new_root
+                return
+            sibling.parent = parent
+            parent.children.append(sibling)
+            parent.reset_mbr()
+            for child in parent.children:
+                parent.include_node(child)
+            node = parent
+
+    # -- quadratic split ------------------------------------------------
+    def _entry_rects(self, node: RNode) -> List[Tuple[float, float, float, float]]:
+        if node.leaf:
+            return [
+                (self._x[i], self._y[i], self._x[i], self._y[i]) for i in node.ids
+            ]
+        return [(c.xlo, c.ylo, c.xhi, c.yhi) for c in node.children]
+
+    def _split_quadratic(self, node: RNode) -> RNode:
+        """Quadratic-cost split (Guttman); returns the new sibling."""
+        rects = self._entry_rects(node)
+        entries = list(node.ids) if node.leaf else list(node.children)
+        seed_a, seed_b = _pick_seeds(rects)
+        group_a = [seed_a]
+        group_b = [seed_b]
+        rect_a = list(rects[seed_a])
+        rect_b = list(rects[seed_b])
+        remaining = [i for i in range(len(entries)) if i not in (seed_a, seed_b)]
+        min_fill = self.min_entries
+        while remaining:
+            # Force assignment when one group must take all the rest.
+            if len(group_a) + len(remaining) == min_fill:
+                for i in remaining:
+                    group_a.append(i)
+                    _grow(rect_a, rects[i])
+                break
+            if len(group_b) + len(remaining) == min_fill:
+                for i in remaining:
+                    group_b.append(i)
+                    _grow(rect_b, rects[i])
+                break
+            index, prefer_a = _pick_next(remaining, rects, rect_a, rect_b)
+            remaining.remove(index)
+            if prefer_a:
+                group_a.append(index)
+                _grow(rect_a, rects[index])
+            else:
+                group_b.append(index)
+                _grow(rect_b, rects[index])
+        sibling = RNode(leaf=node.leaf, parent=node.parent)
+        keep = [entries[i] for i in group_a]
+        move = [entries[i] for i in group_b]
+        if node.leaf:
+            node.ids = keep  # type: ignore[assignment]
+            sibling.ids = move  # type: ignore[assignment]
+            for object_id in move:
+                self._leaf_of[object_id] = sibling
+        else:
+            node.children = keep  # type: ignore[assignment]
+            sibling.children = move  # type: ignore[assignment]
+            for child in move:
+                child.parent = sibling
+        self._recompute_mbr(node)
+        self._recompute_mbr(sibling)
+        return sibling
+
+    def _recompute_mbr(self, node: RNode) -> None:
+        node.reset_mbr()
+        if node.leaf:
+            for object_id in node.ids:
+                node.include_point(self._x[object_id], self._y[object_id])
+        else:
+            for child in node.children:
+                node.include_node(child)
+
+    # ------------------------------------------------------------------
+    # Deletion with condensation
+    # ------------------------------------------------------------------
+    def delete(self, object_id: int) -> None:
+        """Remove one point, condensing underfull nodes."""
+        leaf = self._leaf_of.get(object_id)
+        if leaf is None:
+            raise IndexStateError(f"object {object_id} is not indexed")
+        leaf.ids.remove(object_id)
+        del self._leaf_of[object_id]
+        del self._x[object_id]
+        del self._y[object_id]
+        self._condense(leaf)
+
+    def _condense(self, node: RNode) -> None:
+        orphan_leaves: List[RNode] = []
+        while node.parent is not None:
+            parent = node.parent
+            if node.size() < self.min_entries:
+                parent.children.remove(node)
+                self._collect_leaves(node, orphan_leaves)
+            else:
+                self._recompute_mbr(node)
+            node = parent
+        self._recompute_mbr(self._root)
+        for leaf in orphan_leaves:
+            for object_id in leaf.ids:
+                x = self._x[object_id]
+                y = self._y[object_id]
+                target = self._choose_leaf(self._root, x, y)
+                target.ids.append(object_id)
+                target.include_point(x, y)
+                self._leaf_of[object_id] = target
+                self._handle_overflow(target)
+                self._adjust_upward(target.parent)
+        # Shrink the root if it lost all but one child.
+        while not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+
+    def _collect_leaves(self, node: RNode, out: List[RNode]) -> None:
+        if node.leaf:
+            out.append(node)
+            return
+        for child in node.children:
+            self._collect_leaves(child, out)
+
+    # ------------------------------------------------------------------
+    # Bottom-up update (Lee et al., VLDB 2003)
+    # ------------------------------------------------------------------
+    def update_bottom_up(self, object_id: int, x: float, y: float) -> str:
+        """Move a point using the localized bottom-up path.
+
+        Returns which path was taken, for instrumentation:
+
+        * ``"in_place"`` — the new position is still inside the leaf MBR;
+          only the stored coordinates change.
+        * ``"local"`` — an ancestor's MBR contains the new position; the
+          point is re-inserted into that subtree only.
+        * ``"full"`` — no ancestor (but the root) contains it; standard
+          top-down delete+insert.  The paper observes this becomes the
+          common case under high volatility, which is why bottom-up loses
+          to overhaul rebuilding for large populations (Fig. 18(b)).
+        """
+        leaf = self._leaf_of.get(object_id)
+        if leaf is None:
+            raise IndexStateError(f"object {object_id} is not indexed")
+        self._x[object_id] = x
+        self._y[object_id] = y
+        if leaf.contains_point(x, y):
+            return "in_place"
+        # Remove from the current leaf (coordinates already updated).
+        leaf.ids.remove(object_id)
+        del self._leaf_of[object_id]
+        self._recompute_mbr(leaf)
+        # Climb until an ancestor MBR covers the new position.
+        ancestor: Optional[RNode] = leaf.parent
+        climbed: Optional[RNode] = leaf
+        while ancestor is not None and not ancestor.contains_point(x, y):
+            self._recompute_mbr(ancestor)
+            climbed = ancestor
+            ancestor = ancestor.parent
+        path = "full" if ancestor is None else "local"
+        subtree_root = self._root if ancestor is None else ancestor
+        target = self._choose_leaf(subtree_root, x, y)
+        target.ids.append(object_id)
+        target.include_point(x, y)
+        self._leaf_of[object_id] = target
+        self._handle_overflow(target)
+        self._adjust_upward(target.parent)
+        # MBRs between the vacated leaf and the climb point may now be
+        # loose; tighten the remaining path up to the root.
+        self._adjust_upward(ancestor)
+        # The vacated leaf may underflow; condense lazily only when empty
+        # (full condensation on every move defeats the bottom-up purpose).
+        if leaf.size() == 0 and leaf.parent is not None:
+            self._condense(leaf)
+        return path
+
+    # ------------------------------------------------------------------
+    # STR bulk load (overhaul rebuild)
+    # ------------------------------------------------------------------
+    def bulk_load(self, positions: np.ndarray) -> None:
+        """Rebuild the whole tree with Sort-Tile-Recursive packing.
+
+        Object IDs are the row indices of ``positions``.  This is the
+        "R-tree overhaul" maintenance strategy: cheaper per cycle than
+        issuing NP deletes + NP inserts once the population is volatile.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        n = len(positions)
+        self._x = dict(enumerate(positions[:, 0].tolist()))
+        self._y = dict(enumerate(positions[:, 1].tolist()))
+        self._leaf_of = {}
+        if n == 0:
+            self._root = RNode(leaf=True)
+            return
+        capacity = self.max_entries
+        order = np.argsort(positions[:, 0], kind="stable")
+        n_leaves = math.ceil(n / capacity)
+        n_slabs = math.ceil(math.sqrt(n_leaves))
+        slab_size = math.ceil(n / n_slabs)
+        leaves: List[RNode] = []
+        for start in range(0, n, slab_size):
+            slab = order[start : start + slab_size]
+            slab = slab[np.argsort(positions[slab, 1], kind="stable")]
+            for leaf_start in range(0, len(slab), capacity):
+                chunk = slab[leaf_start : leaf_start + capacity]
+                leaf = RNode(leaf=True)
+                for object_id in chunk.tolist():
+                    leaf.ids.append(object_id)
+                    leaf.include_point(self._x[object_id], self._y[object_id])
+                    self._leaf_of[object_id] = leaf
+                leaves.append(leaf)
+        self._root = self._pack_level(leaves)
+
+    def _pack_level(self, nodes: List[RNode]) -> RNode:
+        """Pack a level of nodes into parents until a single root remains."""
+        while len(nodes) > 1:
+            capacity = self.max_entries
+            n_parents = math.ceil(len(nodes) / capacity)
+            n_slabs = math.ceil(math.sqrt(n_parents))
+            nodes.sort(key=lambda node: (node.xlo + node.xhi))
+            slab_size = math.ceil(len(nodes) / n_slabs)
+            parents: List[RNode] = []
+            for start in range(0, len(nodes), slab_size):
+                slab = sorted(
+                    nodes[start : start + slab_size],
+                    key=lambda node: (node.ylo + node.yhi),
+                )
+                for parent_start in range(0, len(slab), capacity):
+                    parent = RNode(leaf=False)
+                    for child in slab[parent_start : parent_start + capacity]:
+                        child.parent = parent
+                        parent.children.append(child)
+                        parent.include_node(child)
+                    parents.append(parent)
+            nodes = parents
+        root = nodes[0]
+        root.parent = None
+        return root
+
+    # ------------------------------------------------------------------
+    # k-NN search (best-first branch and bound)
+    # ------------------------------------------------------------------
+    def knn(self, qx: float, qy: float, k: int) -> AnswerList:
+        """Exact k nearest neighbors, MINDIST-ordered best-first search."""
+        if k > len(self._x):
+            raise NotEnoughObjectsError(k, len(self._x))
+        answers = AnswerList(k)
+        counter = itertools.count()
+        heap: List[Tuple[float, int, RNode]] = [
+            (self._root.min_dist2(qx, qy), next(counter), self._root)
+        ]
+        xs = self._x
+        ys = self._y
+        while heap:
+            d2, _, node = heapq.heappop(heap)
+            if answers.full and d2 >= answers.worst_dist2:
+                break
+            if node.leaf:
+                for object_id in node.ids:
+                    dx = xs[object_id] - qx
+                    dy = ys[object_id] - qy
+                    answers.offer(dx * dx + dy * dy, object_id)
+            else:
+                for child in node.children:
+                    child_d2 = child.min_dist2(qx, qy)
+                    if not answers.full or child_d2 < answers.worst_dist2:
+                        heapq.heappush(heap, (child_d2, next(counter), child))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check MBR containment, parent pointers, and the leaf map."""
+        count = self._check_node(self._root, None)
+        if count != len(self._x):
+            raise IndexStateError(
+                f"tree stores {count} points, expected {len(self._x)}"
+            )
+
+    def _check_node(self, node: RNode, parent: Optional[RNode]) -> int:
+        if node.parent is not parent:
+            raise IndexStateError("broken parent pointer")
+        if node.leaf:
+            for object_id in node.ids:
+                if not node.contains_point(self._x[object_id], self._y[object_id]):
+                    raise IndexStateError(
+                        f"leaf MBR does not contain object {object_id}"
+                    )
+                if self._leaf_of.get(object_id) is not node:
+                    raise IndexStateError(
+                        f"leaf map is stale for object {object_id}"
+                    )
+            return len(node.ids)
+        total = 0
+        for child in node.children:
+            if (
+                child.xlo < node.xlo
+                or child.ylo < node.ylo
+                or child.xhi > node.xhi
+                or child.yhi > node.yhi
+            ):
+                raise IndexStateError("child MBR escapes its parent MBR")
+            total += self._check_node(child, node)
+        return total
+
+
+# ----------------------------------------------------------------------
+# Quadratic-split helpers (module level: they need no tree state)
+# ----------------------------------------------------------------------
+def _pick_seeds(rects: Sequence[Tuple[float, float, float, float]]) -> Tuple[int, int]:
+    """The pair of entries wasting the most area when grouped together."""
+    worst = -math.inf
+    seeds = (0, 1)
+    for a in range(len(rects)):
+        ax0, ay0, ax1, ay1 = rects[a]
+        for b in range(a + 1, len(rects)):
+            bx0, by0, bx1, by1 = rects[b]
+            whole = (max(ax1, bx1) - min(ax0, bx0)) * (max(ay1, by1) - min(ay0, by0))
+            waste = whole - (ax1 - ax0) * (ay1 - ay0) - (bx1 - bx0) * (by1 - by0)
+            if waste > worst:
+                worst = waste
+                seeds = (a, b)
+    return seeds
+
+
+def _grow(rect: List[float], other: Tuple[float, float, float, float]) -> None:
+    if other[0] < rect[0]:
+        rect[0] = other[0]
+    if other[1] < rect[1]:
+        rect[1] = other[1]
+    if other[2] > rect[2]:
+        rect[2] = other[2]
+    if other[3] > rect[3]:
+        rect[3] = other[3]
+
+
+def _enlargement(rect: List[float], other: Tuple[float, float, float, float]) -> float:
+    area = (rect[2] - rect[0]) * (rect[3] - rect[1])
+    grown = (max(rect[2], other[2]) - min(rect[0], other[0])) * (
+        max(rect[3], other[3]) - min(rect[1], other[1])
+    )
+    return grown - area
+
+
+def _pick_next(
+    remaining: Sequence[int],
+    rects: Sequence[Tuple[float, float, float, float]],
+    rect_a: List[float],
+    rect_b: List[float],
+) -> Tuple[int, bool]:
+    """The entry with the strongest group preference, and that preference."""
+    best_index = remaining[0]
+    best_diff = -1.0
+    prefer_a = True
+    for i in remaining:
+        da = _enlargement(rect_a, rects[i])
+        db = _enlargement(rect_b, rects[i])
+        diff = abs(da - db)
+        if diff > best_diff:
+            best_diff = diff
+            best_index = i
+            prefer_a = da < db
+    return best_index, prefer_a

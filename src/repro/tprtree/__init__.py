@@ -1,0 +1,7 @@
+"""TPR-tree: the predictive-query baseline (§2 related work)."""
+
+from .engine import TPREngine
+from .node import TPRNode
+from .tprtree import TPRTree
+
+__all__ = ["TPREngine", "TPRNode", "TPRTree"]

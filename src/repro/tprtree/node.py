@@ -1,0 +1,159 @@
+"""Time-parameterized R-tree node.
+
+A TPR-tree MBR (Saltenis et al., SIGMOD 2000) bounds both the positions
+*and the velocities* of its subtree, all normalised to reference time 0:
+the spatial interval ``[xlo, xhi]`` grows over time as
+``[xlo + vxlo * t, xhi + vxhi * t]``.  Because ``vxlo <= vxhi`` the
+interval never inverts for ``t >= 0``, and it conservatively contains
+every enclosed object's linearly-extrapolated position at any future
+time — until an update tightens it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+
+class TPRNode:
+    """One TPR-tree node (leaf or internal) with a time-parameterized MBR."""
+
+    __slots__ = (
+        "leaf",
+        "ids",
+        "children",
+        "parent",
+        "xlo",
+        "ylo",
+        "xhi",
+        "yhi",
+        "vxlo",
+        "vylo",
+        "vxhi",
+        "vyhi",
+    )
+
+    def __init__(self, leaf: bool, parent: Optional["TPRNode"] = None) -> None:
+        self.leaf = leaf
+        self.ids: List[int] = []
+        self.children: List["TPRNode"] = []
+        self.parent = parent
+        self.reset_mbr()
+
+    def reset_mbr(self) -> None:
+        self.xlo = math.inf
+        self.ylo = math.inf
+        self.xhi = -math.inf
+        self.yhi = -math.inf
+        self.vxlo = math.inf
+        self.vylo = math.inf
+        self.vxhi = -math.inf
+        self.vyhi = -math.inf
+
+    # ------------------------------------------------------------------
+    # MBR growth
+    # ------------------------------------------------------------------
+    def include_entry(
+        self, x0: float, y0: float, vx: float, vy: float
+    ) -> None:
+        """Grow the MBR to cover a moving point (state at reference time 0)."""
+        if x0 < self.xlo:
+            self.xlo = x0
+        if x0 > self.xhi:
+            self.xhi = x0
+        if y0 < self.ylo:
+            self.ylo = y0
+        if y0 > self.yhi:
+            self.yhi = y0
+        if vx < self.vxlo:
+            self.vxlo = vx
+        if vx > self.vxhi:
+            self.vxhi = vx
+        if vy < self.vylo:
+            self.vylo = vy
+        if vy > self.vyhi:
+            self.vyhi = vy
+
+    def include_node(self, other: "TPRNode") -> None:
+        if other.xlo < self.xlo:
+            self.xlo = other.xlo
+        if other.xhi > self.xhi:
+            self.xhi = other.xhi
+        if other.ylo < self.ylo:
+            self.ylo = other.ylo
+        if other.yhi > self.yhi:
+            self.yhi = other.yhi
+        if other.vxlo < self.vxlo:
+            self.vxlo = other.vxlo
+        if other.vxhi > self.vxhi:
+            self.vxhi = other.vxhi
+        if other.vylo < self.vylo:
+            self.vylo = other.vylo
+        if other.vyhi > self.vyhi:
+            self.vyhi = other.vyhi
+
+    # ------------------------------------------------------------------
+    # Time-parameterized geometry
+    # ------------------------------------------------------------------
+    def bounds_at(self, t: float) -> Tuple[float, float, float, float]:
+        """The spatial MBR at time ``t >= 0``."""
+        return (
+            self.xlo + self.vxlo * t,
+            self.ylo + self.vylo * t,
+            self.xhi + self.vxhi * t,
+            self.yhi + self.vyhi * t,
+        )
+
+    def area_at(self, t: float) -> float:
+        xlo, ylo, xhi, yhi = self.bounds_at(t)
+        if xhi < xlo or yhi < ylo:
+            return 0.0
+        return (xhi - xlo) * (yhi - ylo)
+
+    def integrated_area(self, t0: float, t1: float) -> float:
+        """Exact integral of the (quadratic) area over ``[t0, t1]``.
+
+        Simpson's rule is exact for polynomials of degree <= 3, and the
+        area of a TP-MBR is quadratic in t — so three samples suffice.
+        This is the TPR-tree's insertion metric.
+        """
+        if t1 <= t0:
+            return self.area_at(t0)
+        mid = 0.5 * (t0 + t1)
+        return (
+            (t1 - t0)
+            / 6.0
+            * (self.area_at(t0) + 4.0 * self.area_at(mid) + self.area_at(t1))
+        )
+
+    def min_dist2_at(self, px: float, py: float, t: float) -> float:
+        """Squared MINDIST from a static point to the MBR at time ``t``."""
+        xlo, ylo, xhi, yhi = self.bounds_at(t)
+        dx = 0.0
+        if px < xlo:
+            dx = xlo - px
+        elif px > xhi:
+            dx = px - xhi
+        dy = 0.0
+        if py < ylo:
+            dy = ylo - py
+        elif py > yhi:
+            dy = py - yhi
+        return dx * dx + dy * dy
+
+    def contains_entry_at(
+        self, x0: float, y0: float, vx: float, vy: float, t: float
+    ) -> bool:
+        """Whether the MBR at ``t`` contains the entry's position at ``t``."""
+        xlo, ylo, xhi, yhi = self.bounds_at(t)
+        x = x0 + vx * t
+        y = y0 + vy * t
+        eps = 1e-9
+        return xlo - eps <= x <= xhi + eps and ylo - eps <= y <= yhi + eps
+
+    def size(self) -> int:
+        return len(self.ids) if self.leaf else len(self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.leaf else "node"
+        return f"<TPRNode {kind} n={self.size()}>"

@@ -1,0 +1,429 @@
+"""Main-memory TPR-tree (time-parameterized R-tree).
+
+The predictive-index baseline of the paper's related work (§2): objects
+are indexed as linear trajectories ``p(t) = p0 + v * t`` and queries are
+answered at any (current or future) time while the recorded velocities
+remain valid.  Following Saltenis et al. (SIGMOD 2000):
+
+* node MBRs bound positions *and* velocities (see
+  :class:`~repro.tprtree.node.TPRNode`), conservative for all ``t >= 0``;
+* insertion descends by least *integrated area enlargement* over the
+  horizon ``[now, now + H]`` (computed exactly — the area is quadratic in
+  ``t``, so Simpson's rule is exact);
+* splits use quadratic seeds on the bounds at ``now + H/2``;
+* k-NN at time ``t`` is MINDIST-ordered best-first search on the MBRs
+  evaluated at ``t``; leaf distances use the exact extrapolated positions.
+
+The paper's §5.4 point — "when the velocities of the objects are
+constantly changing ... the TPR-tree degenerates to the R-tree" — is
+reproduced by :class:`repro.tprtree.engine.TPREngine` and the
+``ablation_tpr_degeneration`` experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.answers import AnswerList
+from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from .node import TPRNode
+
+
+class TPRTree:
+    """A dynamic TPR-tree over 2D points with linear motion.
+
+    Parameters
+    ----------
+    horizon:
+        The time window ``H`` the insertion metric optimises for (in the
+        same units as query times; one monitoring cycle = 1.0 by default).
+    max_entries, min_entries:
+        Node capacity / underflow threshold, as in the R-tree.
+    """
+
+    def __init__(
+        self,
+        horizon: float = 10.0,
+        max_entries: int = 32,
+        min_entries: Optional[int] = None,
+    ) -> None:
+        if horizon <= 0.0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        if max_entries < 4:
+            raise ConfigurationError(f"max_entries must be >= 4, got {max_entries}")
+        self.horizon = horizon
+        self.max_entries = max_entries
+        self.min_entries = (
+            max(2, max_entries * 2 // 5) if min_entries is None else min_entries
+        )
+        if not 1 <= self.min_entries <= max_entries // 2:
+            raise ConfigurationError(
+                f"min_entries={self.min_entries} must be in [1, max_entries/2]"
+            )
+        self._root = TPRNode(leaf=True)
+        # Per-object trajectory state, normalised to reference time 0:
+        # position-at-0 and velocity.
+        self._x0: Dict[int, float] = {}
+        self._y0: Dict[int, float] = {}
+        self._vx: Dict[int, float] = {}
+        self._vy: Dict[int, float] = {}
+        self._leaf_of: Dict[int, TPRNode] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._x0)
+
+    @property
+    def height(self) -> int:
+        node = self._root
+        levels = 1
+        while not node.leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def position_at(self, object_id: int, t: float) -> Tuple[float, float]:
+        """The recorded trajectory's position at time ``t``."""
+        return (
+            self._x0[object_id] + self._vx[object_id] * t,
+            self._y0[object_id] + self._vy[object_id] * t,
+        )
+
+    def velocity_of(self, object_id: int) -> Tuple[float, float]:
+        return self._vx[object_id], self._vy[object_id]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(
+        self, object_id: int, x: float, y: float, vx: float, vy: float, now: float
+    ) -> None:
+        """Index an object observed at ``(x, y)`` with velocity ``(vx, vy)``
+        at time ``now``."""
+        if object_id in self._x0:
+            raise IndexStateError(f"object {object_id} is already indexed")
+        # Normalise to reference time 0 (valid for queries at t >= now).
+        x0 = x - vx * now
+        y0 = y - vy * now
+        self._x0[object_id] = x0
+        self._y0[object_id] = y0
+        self._vx[object_id] = vx
+        self._vy[object_id] = vy
+        leaf = self._choose_leaf(self._root, x0, y0, vx, vy, now)
+        leaf.ids.append(object_id)
+        leaf.include_entry(x0, y0, vx, vy)
+        self._leaf_of[object_id] = leaf
+        self._handle_overflow(leaf, now)
+        self._grow_upward(leaf.parent, x0, y0, vx, vy)
+
+    def _grow_upward(
+        self, node: Optional[TPRNode], x0: float, y0: float, vx: float, vy: float
+    ) -> None:
+        while node is not None:
+            node.include_entry(x0, y0, vx, vy)
+            node = node.parent
+
+    def _choose_leaf(
+        self, node: TPRNode, x0: float, y0: float, vx: float, vy: float, now: float
+    ) -> TPRNode:
+        t1 = now + self.horizon
+        while not node.leaf:
+            best = None
+            best_enlargement = math.inf
+            for child in node.children:
+                before = child.integrated_area(now, t1)
+                # Tentatively grow, measure, then restore.
+                saved = (
+                    child.xlo, child.ylo, child.xhi, child.yhi,
+                    child.vxlo, child.vylo, child.vxhi, child.vyhi,
+                )
+                child.include_entry(x0, y0, vx, vy)
+                after = child.integrated_area(now, t1)
+                (
+                    child.xlo, child.ylo, child.xhi, child.yhi,
+                    child.vxlo, child.vylo, child.vxhi, child.vyhi,
+                ) = saved
+                enlargement = after - before
+                if enlargement < best_enlargement:
+                    best = child
+                    best_enlargement = enlargement
+            assert best is not None
+            node = best
+        return node
+
+    # ------------------------------------------------------------------
+    # Split (quadratic seeds on the mid-horizon rectangles)
+    # ------------------------------------------------------------------
+    def _entry_states(
+        self, node: TPRNode
+    ) -> List[Tuple[float, float, float, float]]:
+        if node.leaf:
+            return [
+                (self._x0[i], self._y0[i], self._vx[i], self._vy[i])
+                for i in node.ids
+            ]
+        return [
+            (0.5 * (c.xlo + c.xhi), 0.5 * (c.ylo + c.yhi),
+             0.5 * (c.vxlo + c.vxhi), 0.5 * (c.vylo + c.vyhi))
+            for c in node.children
+        ]
+
+    def _handle_overflow(self, node: TPRNode, now: float) -> None:
+        while node.size() > self.max_entries:
+            sibling = self._split(node, now)
+            parent = node.parent
+            if parent is None:
+                new_root = TPRNode(leaf=False)
+                for child in (node, sibling):
+                    child.parent = new_root
+                    new_root.children.append(child)
+                    new_root.include_node(child)
+                self._root = new_root
+                return
+            sibling.parent = parent
+            parent.children.append(sibling)
+            self._recompute_mbr(parent)
+            node = parent
+
+    def _split(self, node: TPRNode, now: float) -> TPRNode:
+        """Quadratic split by projected positions at ``now + H/2``."""
+        t_mid = now + 0.5 * self.horizon
+        states = self._entry_states(node)
+        projected = [(x0 + vx * t_mid, y0 + vy * t_mid) for x0, y0, vx, vy in states]
+        seed_a, seed_b = _pick_seeds(projected)
+        entries = list(node.ids) if node.leaf else list(node.children)
+        group_a = {seed_a}
+        group_b = {seed_b}
+        remaining = [i for i in range(len(entries)) if i not in (seed_a, seed_b)]
+        # Greedy assignment by distance to the two seed projections, then
+        # rebalance so both groups satisfy the minimum fill.
+        ax, ay = projected[seed_a]
+        bx, by = projected[seed_b]
+        for i in remaining:
+            px, py = projected[i]
+            da = (px - ax) ** 2 + (py - ay) ** 2
+            db = (px - bx) ** 2 + (py - by) ** 2
+            if da <= db:
+                group_a.add(i)
+            else:
+                group_b.add(i)
+        min_fill = self.min_entries
+        _rebalance(group_a, group_b, projected, (ax, ay), min_fill)
+        _rebalance(group_b, group_a, projected, (bx, by), min_fill)
+        sibling = TPRNode(leaf=node.leaf, parent=node.parent)
+        keep = [entries[i] for i in sorted(group_a)]
+        move = [entries[i] for i in sorted(group_b)]
+        if node.leaf:
+            node.ids = keep  # type: ignore[assignment]
+            sibling.ids = move  # type: ignore[assignment]
+            for object_id in move:
+                self._leaf_of[object_id] = sibling
+        else:
+            node.children = keep  # type: ignore[assignment]
+            sibling.children = move  # type: ignore[assignment]
+            for child in move:
+                child.parent = sibling
+        self._recompute_mbr(node)
+        self._recompute_mbr(sibling)
+        return sibling
+
+    def _recompute_mbr(self, node: TPRNode) -> None:
+        node.reset_mbr()
+        if node.leaf:
+            for object_id in node.ids:
+                node.include_entry(
+                    self._x0[object_id],
+                    self._y0[object_id],
+                    self._vx[object_id],
+                    self._vy[object_id],
+                )
+        else:
+            for child in node.children:
+                node.include_node(child)
+
+    # ------------------------------------------------------------------
+    # Deletion / update
+    # ------------------------------------------------------------------
+    def delete(self, object_id: int) -> None:
+        leaf = self._leaf_of.get(object_id)
+        if leaf is None:
+            raise IndexStateError(f"object {object_id} is not indexed")
+        leaf.ids.remove(object_id)
+        del self._leaf_of[object_id]
+        del self._x0[object_id]
+        del self._y0[object_id]
+        del self._vx[object_id]
+        del self._vy[object_id]
+        self._condense(leaf)
+
+    def _condense(self, node: TPRNode) -> None:
+        orphan_leaves: List[TPRNode] = []
+        while node.parent is not None:
+            parent = node.parent
+            if node.size() < self.min_entries:
+                parent.children.remove(node)
+                self._collect_leaves(node, orphan_leaves)
+            else:
+                self._recompute_mbr(node)
+            node = parent
+        self._recompute_mbr(self._root)
+        for leaf in orphan_leaves:
+            for object_id in leaf.ids:
+                # Re-insert preserving the stored trajectory (tref 0 form).
+                x0 = self._x0[object_id]
+                y0 = self._y0[object_id]
+                vx = self._vx[object_id]
+                vy = self._vy[object_id]
+                target = self._choose_leaf(self._root, x0, y0, vx, vy, 0.0)
+                target.ids.append(object_id)
+                target.include_entry(x0, y0, vx, vy)
+                self._leaf_of[object_id] = target
+                self._handle_overflow(target, 0.0)
+                self._grow_upward(target.parent, x0, y0, vx, vy)
+        while not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+
+    def _collect_leaves(self, node: TPRNode, out: List[TPRNode]) -> None:
+        if node.leaf:
+            out.append(node)
+            return
+        for child in node.children:
+            self._collect_leaves(child, out)
+
+    def update(
+        self, object_id: int, x: float, y: float, vx: float, vy: float, now: float
+    ) -> None:
+        """Refresh an object's trajectory (delete + insert, tightening MBRs).
+
+        This is the TPR-tree's maintenance primitive; under constantly
+        changing velocities every object needs one per cycle, which is the
+        degeneration the paper describes.
+        """
+        self.delete(object_id)
+        self.insert(object_id, x, y, vx, vy, now)
+
+    # ------------------------------------------------------------------
+    # Time-parameterized k-NN
+    # ------------------------------------------------------------------
+    def knn(self, qx: float, qy: float, k: int, t: float) -> AnswerList:
+        """Exact k-NN of a static query point at time ``t`` (>= last update).
+
+        Distances are to the recorded linear trajectories evaluated at
+        ``t``; the answer is exact for the predicted world, and exact for
+        the real world whenever every recorded velocity is still valid.
+        """
+        if k > len(self._x0):
+            raise NotEnoughObjectsError(k, len(self._x0))
+        answers = AnswerList(k)
+        counter = itertools.count()
+        heap = [(self._root.min_dist2_at(qx, qy, t), next(counter), self._root)]
+        x0 = self._x0
+        y0 = self._y0
+        vx = self._vx
+        vy = self._vy
+        while heap:
+            d2, _, node = heapq.heappop(heap)
+            if answers.full and d2 >= answers.worst_dist2:
+                break
+            if node.leaf:
+                for object_id in node.ids:
+                    px = x0[object_id] + vx[object_id] * t
+                    py = y0[object_id] + vy[object_id] * t
+                    dx = px - qx
+                    dy = py - qy
+                    answers.offer(dx * dx + dy * dy, object_id)
+            else:
+                for child in node.children:
+                    child_d2 = child.min_dist2_at(qx, qy, t)
+                    if not answers.full or child_d2 < answers.worst_dist2:
+                        heapq.heappush(heap, (child_d2, next(counter), child))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, t: float = 0.0) -> None:
+        """Check conservative containment at time ``t`` plus structure."""
+        count = self._check(self._root, None, t)
+        if count != len(self._x0):
+            raise IndexStateError(
+                f"tree stores {count} entries, expected {len(self._x0)}"
+            )
+
+    def _check(self, node: TPRNode, parent: Optional[TPRNode], t: float) -> int:
+        if node.parent is not parent:
+            raise IndexStateError("broken parent pointer")
+        if node.leaf:
+            for object_id in node.ids:
+                if not node.contains_entry_at(
+                    self._x0[object_id],
+                    self._y0[object_id],
+                    self._vx[object_id],
+                    self._vy[object_id],
+                    t,
+                ):
+                    raise IndexStateError(
+                        f"leaf TP-MBR does not contain object {object_id} at t={t}"
+                    )
+                if self._leaf_of.get(object_id) is not node:
+                    raise IndexStateError(f"stale leaf map for object {object_id}")
+            return len(node.ids)
+        total = 0
+        for child in node.children:
+            cx = child.bounds_at(t)
+            px = node.bounds_at(t)
+            eps = 1e-9
+            if (
+                cx[0] < px[0] - eps
+                or cx[1] < px[1] - eps
+                or cx[2] > px[2] + eps
+                or cx[3] > px[3] + eps
+            ):
+                raise IndexStateError(f"child TP-MBR escapes its parent at t={t}")
+            total += self._check(child, node, t)
+        return total
+
+
+def _rebalance(
+    small: set,
+    big: set,
+    projected: List[Tuple[float, float]],
+    anchor: Tuple[float, float],
+    min_fill: int,
+) -> None:
+    """Move the entries of ``big`` nearest to ``anchor`` into ``small``
+    until ``small`` reaches the minimum fill."""
+    ax, ay = anchor
+    while len(small) < min_fill and len(big) > min_fill:
+        best = None
+        best_d = math.inf
+        for i in big:
+            px, py = projected[i]
+            d = (px - ax) ** 2 + (py - ay) ** 2
+            if d < best_d:
+                best_d = d
+                best = i
+        assert best is not None
+        big.remove(best)
+        small.add(best)
+
+
+def _pick_seeds(points: List[Tuple[float, float]]) -> Tuple[int, int]:
+    """The two projected points farthest apart (quadratic seeds)."""
+    best = (0, 1)
+    worst = -1.0
+    for a in range(len(points)):
+        ax, ay = points[a]
+        for b in range(a + 1, len(points)):
+            bx, by = points[b]
+            d = (ax - bx) ** 2 + (ay - by) ** 2
+            if d > worst:
+                worst = d
+                best = (a, b)
+    return best

@@ -1,0 +1,87 @@
+"""Terminal visualisation: ASCII density plots of point sets.
+
+The paper's Figs. 9 and 10 are scatter plots of the datasets; in a
+text-only environment the closest faithful rendering is a character
+density map.  Used by ``examples/`` and by ``python -m repro.bench fig09``
+consumers who want to *see* the skew.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+# Darkness ramp, lightest to densest.
+_DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def density_plot(
+    points: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+    ramp: str = _DEFAULT_RAMP,
+    border: bool = True,
+) -> str:
+    """Render a point set in the unit square as an ASCII density map.
+
+    Each character cell's symbol encodes the count of points inside it,
+    scaled so the densest cell uses the last ramp character.  The y axis
+    points up, matching the paper's plots.
+    """
+    if width < 1 or height < 1:
+        raise ConfigurationError("width and height must be >= 1")
+    if len(ramp) < 2:
+        raise ConfigurationError("ramp needs at least two characters")
+    points = np.asarray(points, dtype=np.float64)
+    counts = np.zeros((height, width), dtype=np.intp)
+    if len(points):
+        ii = np.clip((points[:, 0] * width).astype(np.intp), 0, width - 1)
+        jj = np.clip((points[:, 1] * height).astype(np.intp), 0, height - 1)
+        np.add.at(counts, (jj, ii), 1)
+    peak = counts.max()
+    lines = []
+    for j in range(height - 1, -1, -1):  # top row = largest y
+        if peak == 0:
+            row = ramp[0] * width
+        else:
+            # Map counts 0..peak onto the ramp; any nonzero count gets at
+            # least the second character so sparse points stay visible.
+            levels = np.where(
+                counts[j] == 0,
+                0,
+                1 + (counts[j] * (len(ramp) - 2)) // max(1, peak),
+            )
+            row = "".join(ramp[int(level)] for level in levels)
+        lines.append(row)
+    if border:
+        top = "+" + "-" * width + "+"
+        return "\n".join([top] + ["|" + line + "|" for line in lines] + [top])
+    return "\n".join(lines)
+
+
+def side_by_side(plots: Sequence[str], gap: int = 2, labels: Optional[Sequence[str]] = None) -> str:
+    """Join several equal-height ASCII plots horizontally."""
+    if not plots:
+        return ""
+    split = [plot.splitlines() for plot in plots]
+    rows = max(len(lines) for lines in split)
+    widths = [max((len(line) for line in lines), default=0) for lines in split]
+    out = []
+    if labels is not None:
+        if len(labels) != len(plots):
+            raise ConfigurationError("labels must match plots")
+        out.append(
+            (" " * gap).join(
+                label[: widths[i]].center(widths[i]) for i, label in enumerate(labels)
+            )
+        )
+    for row in range(rows):
+        pieces = []
+        for i, lines in enumerate(split):
+            piece = lines[row] if row < len(lines) else ""
+            pieces.append(piece.ljust(widths[i]))
+        out.append((" " * gap).join(pieces))
+    return "\n".join(out)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion import make_dataset, make_queries
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def uniform_1k():
+    """1000 uniform object positions (seeded)."""
+    return make_dataset("uniform", 1000, seed=7)
+
+
+@pytest.fixture
+def skewed_1k():
+    """1000 skewed (4-cluster) object positions (seeded)."""
+    return make_dataset("skewed", 1000, seed=7)
+
+
+@pytest.fixture
+def hi_skewed_1k():
+    """1000 highly-skewed (10-cluster) object positions (seeded)."""
+    return make_dataset("hi_skewed", 1000, seed=7)
+
+
+@pytest.fixture
+def queries_20():
+    """20 uniform query positions (seeded)."""
+    return make_queries(20, seed=11)
+
+
+def assert_same_distances(got, want, tol=1e-12):
+    """Compare two (id, distance) answers by their distance profiles.
+
+    Exact ties may legitimately order differently between methods, so IDs
+    are compared only as multisets within equal-distance groups (handled
+    by comparing the sorted distance lists and the ID sets).
+    """
+    assert len(got) == len(want), (got, want)
+    for (_, dg), (_, dw) in zip(got, want):
+        assert abs(dg - dw) <= tol, (got, want)

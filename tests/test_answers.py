@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.answers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.answers import AnswerList, QueryAnswer, answers_equal
+from repro.errors import ConfigurationError
+
+
+class TestAnswerList:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AnswerList(0)
+
+    def test_empty(self):
+        answers = AnswerList(3)
+        assert len(answers) == 0
+        assert not answers.full
+        assert answers.worst_dist2 == math.inf
+        assert answers.kth_dist() == math.inf
+
+    def test_offer_fills(self):
+        answers = AnswerList(2)
+        assert answers.offer(0.5, 1)
+        assert answers.offer(0.2, 2)
+        assert answers.full
+        assert answers.object_ids() == [2, 1]
+
+    def test_offer_rejects_worse(self):
+        answers = AnswerList(2)
+        answers.offer(0.1, 1)
+        answers.offer(0.2, 2)
+        assert not answers.offer(0.3, 3)
+        assert answers.object_ids() == [1, 2]
+
+    def test_offer_replaces_worst(self):
+        answers = AnswerList(2)
+        answers.offer(0.1, 1)
+        answers.offer(0.5, 2)
+        assert answers.offer(0.2, 3)
+        assert answers.object_ids() == [1, 3]
+
+    def test_worst_dist2_tracks_kth(self):
+        answers = AnswerList(2)
+        answers.offer(0.4, 1)
+        assert answers.worst_dist2 == math.inf
+        answers.offer(0.1, 2)
+        assert answers.worst_dist2 == 0.4
+        answers.offer(0.2, 3)
+        assert answers.worst_dist2 == pytest.approx(0.2)
+
+    def test_ties_broken_by_id(self):
+        answers = AnswerList(3)
+        answers.offer(0.5, 9)
+        answers.offer(0.5, 3)
+        answers.offer(0.5, 6)
+        assert answers.object_ids() == [3, 6, 9]
+
+    def test_neighbors_take_sqrt(self):
+        answers = AnswerList(1)
+        answers.offer(0.25, 4)
+        assert answers.neighbors() == [(4, 0.5)]
+
+    def test_kth_dist(self):
+        answers = AnswerList(2)
+        answers.offer(0.04, 1)
+        answers.offer(0.09, 2)
+        assert answers.kth_dist() == pytest.approx(0.3)
+
+    def test_clear(self):
+        answers = AnswerList(2)
+        answers.offer(0.1, 1)
+        answers.clear()
+        assert len(answers) == 0
+
+    def test_equal_distance_keeps_existing_on_full(self):
+        answers = AnswerList(1)
+        answers.offer(0.2, 1)
+        assert not answers.offer(0.2, 0)
+        assert answers.object_ids() == [1]
+
+    def test_iteration_yields_sorted_pairs(self):
+        answers = AnswerList(3)
+        for d2, ident in [(0.3, 1), (0.1, 2), (0.2, 3)]:
+            answers.offer(d2, ident)
+        assert list(answers) == [(0.1, 2), (0.2, 3), (0.3, 1)]
+
+
+class TestQueryAnswer:
+    def test_fields(self):
+        qa = QueryAnswer(3, 7.0, ((10, 0.1), (20, 0.2)))
+        assert qa.query_id == 3
+        assert qa.timestamp == 7.0
+        assert qa.k == 2
+        assert qa.object_ids() == (10, 20)
+        assert qa.kth_dist() == 0.2
+
+    def test_empty_answer(self):
+        qa = QueryAnswer(0, 0.0)
+        assert qa.k == 0
+        assert qa.kth_dist() == math.inf
+
+    def test_frozen(self):
+        qa = QueryAnswer(0, 0.0)
+        with pytest.raises(AttributeError):
+            qa.query_id = 5
+
+
+class TestAnswersEqual:
+    def test_identical(self):
+        answer = [(1, 0.1), (2, 0.2)]
+        assert answers_equal(answer, answer)
+
+    def test_different_lengths(self):
+        assert not answers_equal([(1, 0.1)], [(1, 0.1), (2, 0.2)])
+
+    def test_different_distances(self):
+        assert not answers_equal([(1, 0.1)], [(1, 0.2)])
+
+    def test_tie_reordering_allowed(self):
+        left = [(1, 0.1), (2, 0.1), (3, 0.5)]
+        right = [(2, 0.1), (1, 0.1), (3, 0.5)]
+        assert answers_equal(left, right)
+
+    def test_interior_tie_with_different_ids_rejected(self):
+        left = [(1, 0.1), (2, 0.1), (9, 0.5)]
+        right = [(1, 0.1), (3, 0.1), (9, 0.5)]
+        assert not answers_equal(left, right)
+
+    def test_kth_boundary_tie_with_different_ids_accepted(self):
+        # Both are valid 2-NN answers when three objects tie at the k-th
+        # distance; the comparator must accept either truncation.
+        left = [(1, 0.1), (2, 0.2)]
+        right = [(1, 0.1), (3, 0.2)]
+        assert answers_equal(left, right)
+
+    def test_near_ties_within_tolerance(self):
+        left = [(1, 0.1), (2, 0.1 + 1e-13)]
+        right = [(2, 0.1), (1, 0.1 + 1e-13)]
+        assert answers_equal(left, right)

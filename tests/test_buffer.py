@@ -1,0 +1,126 @@
+"""Tests for the snapshot buffer and the streaming monitoring service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.buffer import MonitoringService, PositionBuffer
+from repro.core.monitor import MonitoringSystem
+from repro.errors import ConfigurationError, OutOfRegionError
+from repro.motion import make_dataset, make_queries
+from tests.conftest import assert_same_distances
+
+
+class TestPositionBuffer:
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            PositionBuffer(np.zeros((3, 3)))
+
+    def test_initial_out_of_region(self):
+        with pytest.raises(OutOfRegionError):
+            PositionBuffer(np.asarray([[0.5, 1.5]]))
+
+    def test_snapshot_is_a_copy(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
+        snap = buffer.snapshot()
+        snap[0, 0] = 0.9
+        assert buffer.snapshot()[0, 0] == 0.5
+
+    def test_report_applies_on_snapshot(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5], [0.1, 0.1]]))
+        buffer.report(0, 0.7, 0.8)
+        assert buffer.pending_reports == 1
+        snap = buffer.snapshot()
+        assert tuple(snap[0]) == (0.7, 0.8)
+        assert tuple(snap[1]) == (0.1, 0.1)
+        assert buffer.pending_reports == 0
+
+    def test_last_report_wins(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
+        buffer.report(0, 0.2, 0.2)
+        buffer.report(0, 0.3, 0.3)
+        assert tuple(buffer.snapshot()[0]) == (0.3, 0.3)
+        assert buffer.reports_received == 2
+
+    def test_unknown_object(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
+        with pytest.raises(ConfigurationError):
+            buffer.report(5, 0.1, 0.1)
+
+    def test_out_of_region_report(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
+        with pytest.raises(OutOfRegionError):
+            buffer.report(0, 1.0, 0.5)
+
+    def test_report_batch(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5], [0.4, 0.4], [0.3, 0.3]]))
+        buffer.report_batch([2, 0], np.asarray([[0.9, 0.9], [0.8, 0.8]]))
+        snap = buffer.snapshot()
+        assert tuple(snap[2]) == (0.9, 0.9)
+        assert tuple(snap[0]) == (0.8, 0.8)
+
+    def test_report_batch_length_mismatch(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
+        with pytest.raises(ConfigurationError):
+            buffer.report_batch([0, 1], np.asarray([[0.1, 0.1]]))
+
+    def test_empty_population(self):
+        buffer = PositionBuffer(np.empty((0, 2)))
+        assert buffer.snapshot().shape == (0, 2)
+
+
+class TestMonitoringService:
+    def test_streaming_cycle_exact(self):
+        objects = make_dataset("uniform", 600, seed=1)
+        queries = make_queries(5, seed=2)
+        system = MonitoringSystem.object_indexing(4, queries)
+        service = MonitoringService(system, objects)
+        assert len(service.initial_answers) == 5
+
+        # A burst of asynchronous reports, then a cycle.
+        rng = np.random.default_rng(3)
+        moved = objects.copy()
+        movers = rng.choice(600, size=200, replace=False)
+        for object_id in movers:
+            x, y = rng.random(2)
+            service.report(int(object_id), float(x), float(y))
+            moved[object_id] = (x, y)
+        answers = service.run_cycle()
+        assert service.timestamp == system.tau
+        for qa in answers:
+            qx, qy = queries[qa.query_id]
+            want = brute_force_knn(moved, qx, qy, 4)
+            assert_same_distances(qa.neighbors, want)
+
+    def test_multiple_cycles(self):
+        objects = make_dataset("uniform", 200, seed=4)
+        queries = make_queries(3, seed=5)
+        service = MonitoringService(
+            MonitoringSystem.hierarchical(3, queries), objects
+        )
+        rng = np.random.default_rng(6)
+        current = objects.copy()
+        for _ in range(3):
+            for object_id in range(0, 200, 7):
+                x, y = rng.random(2)
+                service.report(object_id, float(x), float(y))
+                current[object_id] = (x, y)
+            answers = service.run_cycle()
+            for qa in answers:
+                qx, qy = queries[qa.query_id]
+                want = brute_force_knn(current, qx, qy, 3)
+                assert_same_distances(qa.neighbors, want)
+
+    def test_cycle_without_reports(self):
+        objects = make_dataset("uniform", 100, seed=7)
+        queries = make_queries(2, seed=8)
+        service = MonitoringService(
+            MonitoringSystem.object_indexing(2, queries), objects
+        )
+        first = service.run_cycle()
+        second = service.run_cycle()
+        assert [qa.object_ids() for qa in first] == [
+            qa.object_ids() for qa in second
+        ]

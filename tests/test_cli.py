@@ -1,0 +1,62 @@
+"""Tests for the benchmark CLI (python -m repro.bench)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig09"])
+        assert args.figures == ["fig09"]
+        assert args.scale == 1.0
+        assert args.markdown is None
+        assert args.csv is None
+
+    def test_multiple_figures_and_scale(self):
+        args = build_parser().parse_args(["fig09", "fig10", "--scale", "0.5"])
+        assert args.figures == ["fig09", "fig10"]
+        assert args.scale == 0.5
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list", "x"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11a" in out
+        assert "fig22c" in out
+        assert "ablation_tpr_degeneration" in out
+
+    def test_run_one_figure(self, capsys):
+        assert main(["fig09", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "skew ordering" in out
+
+    def test_markdown_and_csv_outputs(self, tmp_path, capsys):
+        md = tmp_path / "out.md"
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "fig09",
+                "--scale",
+                "0.05",
+                "--markdown",
+                str(md),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert "### fig09" in md.read_text()
+        csv_text = csv_path.read_text()
+        assert csv_text.startswith("figure,dataset,")
+        assert "fig09,uniform" in csv_text
+
+    def test_unknown_figure_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["fig99"])

@@ -1,0 +1,179 @@
+"""Tests for the analytical cost models (§3), including Monte-Carlo checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import (
+    ObjectIndexingCost,
+    SkewedQueryCost,
+    expected_knn_radius_uniform,
+    fit_linear,
+    fit_power_law,
+    incremental_maintenance_cost,
+    linearity_r2,
+    optimal_cell_size,
+    pr_exit,
+    pr_exit_paper,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOptimalCellSize:
+    def test_formula(self):
+        assert optimal_cell_size(10_000) == pytest.approx(0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            optimal_cell_size(0)
+
+
+class TestExpectedRadius:
+    def test_formula(self):
+        assert expected_knn_radius_uniform(10, 100_000) == pytest.approx(
+            math.sqrt(10 / (math.pi * 100_000))
+        )
+
+    def test_monte_carlo(self):
+        # Measure the mean 10-NN distance over uniform data and compare.
+        rng = np.random.default_rng(0)
+        n, k = 20_000, 10
+        points = rng.random((n, 2))
+        radii = []
+        for _ in range(30):
+            q = rng.random(2)
+            d2 = np.sum((points - q) ** 2, axis=1)
+            radii.append(math.sqrt(np.partition(d2, k - 1)[k - 1]))
+        measured = float(np.mean(radii))
+        predicted = expected_knn_radius_uniform(k, n)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            expected_knn_radius_uniform(0, 100)
+
+
+class TestPrExit:
+    def test_zero_velocity(self):
+        assert pr_exit(0.1, 0.0) == 0.0
+        assert pr_exit_paper(0.1, 0.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            pr_exit(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            pr_exit_paper(-1.0, 0.1)
+
+    def test_small_cells_high_exit(self):
+        assert pr_exit(0.001, 0.1) > 0.99
+
+    def test_large_cells_low_exit(self):
+        assert pr_exit(0.5, 0.001) < 0.01
+
+    def test_monotone_in_velocity(self):
+        values = [pr_exit(0.05, v) for v in (0.001, 0.005, 0.02, 0.05, 0.2)]
+        assert values == sorted(values)
+
+    def test_monotone_in_cell_size(self):
+        values = [pr_exit(d, 0.01) for d in (0.005, 0.01, 0.05, 0.1, 0.5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_paper_branch_delta_le_vmax(self):
+        # For delta <= vmax the paper's branch is exact in one axis only;
+        # it must still bound our two-axis value from below.
+        delta, vmax = 0.01, 0.05
+        assert pr_exit_paper(delta, vmax) <= pr_exit(delta, vmax) + 1e-12
+
+    def test_paper_branch_delta_gt_vmax_matches(self):
+        # For delta > vmax the printed branch equals the two-axis form.
+        for delta, vmax in [(0.1, 0.005), (0.05, 0.02), (0.2, 0.1)]:
+            assert pr_exit_paper(delta, vmax) == pytest.approx(pr_exit(delta, vmax))
+
+    @pytest.mark.parametrize("delta,vmax", [(0.1, 0.005), (0.05, 0.05), (0.02, 0.08)])
+    def test_monte_carlo(self, delta, vmax):
+        rng = np.random.default_rng(7)
+        n = 200_000
+        x = rng.uniform(0.0, delta, n)
+        y = rng.uniform(0.0, delta, n)
+        u = rng.uniform(-vmax, vmax, n)
+        v = rng.uniform(-vmax, vmax, n)
+        stays = ((0.0 <= x + u) & (x + u < delta) & (0.0 <= y + v) & (y + v < delta))
+        measured = 1.0 - float(np.mean(stays))
+        assert measured == pytest.approx(pr_exit(delta, vmax), abs=0.01)
+
+
+class TestCostDataclasses:
+    def test_object_indexing_cost_shape(self):
+        cost = ObjectIndexingCost(a0=1e-7, a1=1e-6, a2=1e-6)
+        assert cost.t_index(1000) == pytest.approx(1e-4)
+        small = cost.t_query(0.01, 0.01, 1000, 10)
+        large = cost.t_query(0.1, 0.01, 1000, 10)
+        assert large > small
+        assert cost.total(0.01, 0.01, 1000, 10) == pytest.approx(
+            cost.t_index(1000) + cost.t_query(0.01, 0.01, 1000, 10)
+        )
+
+    def test_theorem1_constant_in_np(self):
+        # With delta = 1/sqrt(NP) and lcrit = sqrt(k/(pi NP)), per-query
+        # time must not depend on NP.
+        cost = ObjectIndexingCost(a0=0.0, a1=1.0, a2=1.0)
+        times = []
+        for n in (10_000, 100_000, 1_000_000):
+            delta = optimal_cell_size(n)
+            lcrit = expected_knn_radius_uniform(10, n)
+            times.append(cost.t_query(lcrit, delta, n, 1))
+        assert max(times) / min(times) == pytest.approx(1.0, rel=1e-9)
+
+    def test_skewed_query_cost_regimes(self):
+        cost = SkewedQueryCost(b0=0.0, b1=1.0, b2=1.0)
+        mu = 0.01
+        # For small NP the sqrt term dominates, for large NP the linear.
+        small_ratio = cost.t_query(mu, 400, 1) / math.sqrt(400)
+        large = cost.t_query(mu, 10_000_000, 1)
+        assert large > mu * mu * 10_000_000 * 0.99
+
+
+class TestFits:
+    def test_fit_linear_exact(self):
+        slope, intercept = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_fit_linear_needs_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear([1], [1])
+
+    def test_fit_power_law(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [3 * x**0.5 for x in xs]
+        p, c = fit_power_law(xs, ys)
+        assert p == pytest.approx(0.5)
+        assert c == pytest.approx(3.0)
+
+    def test_fit_power_law_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, -2], [1, 2])
+
+    def test_linearity_r2_perfect(self):
+        assert linearity_r2([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_linearity_r2_constant(self):
+        assert linearity_r2([1, 2, 3], [5, 5, 5]) == pytest.approx(1.0)
+
+    def test_linearity_r2_poor(self):
+        xs = list(range(1, 30))
+        ys = [x**3 for x in xs]
+        assert linearity_r2(xs, ys) < 0.95
+
+
+class TestIncrementalMaintenanceCost:
+    def test_grows_with_velocity(self):
+        low = incremental_maintenance_cost(100_000, 0.01, 0.001, 1.0)
+        high = incremental_maintenance_cost(100_000, 0.01, 0.02, 1.0)
+        assert high > low
+
+    def test_zero_velocity_zero_cost(self):
+        assert incremental_maintenance_cost(1000, 0.05, 0.0, 1.0) == 0.0

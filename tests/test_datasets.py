@@ -1,0 +1,100 @@
+"""Tests for the synthetic datasets (Fig. 9) and query generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion.datasets import (
+    gaussian_clusters_dataset,
+    hi_skewed_dataset,
+    make_dataset,
+    make_queries,
+    skewed_dataset,
+    skewness_statistic,
+    uniform_dataset,
+)
+
+
+class TestShapesAndRanges:
+    @pytest.mark.parametrize("name", ["uniform", "skewed", "hi_skewed"])
+    def test_shape(self, name):
+        points = make_dataset(name, 500, seed=1)
+        assert points.shape == (500, 2)
+
+    @pytest.mark.parametrize("name", ["uniform", "skewed", "hi_skewed"])
+    def test_in_unit_square(self, name):
+        points = make_dataset(name, 2000, seed=2)
+        assert np.all(points >= 0.0)
+        assert np.all(points < 1.0)
+
+    def test_zero_points(self):
+        assert make_dataset("uniform", 0).shape == (0, 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("nope", 10)
+
+    def test_negative_n(self):
+        with pytest.raises(ConfigurationError):
+            uniform_dataset(-1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["uniform", "skewed", "hi_skewed"])
+    def test_seeded_reproducible(self, name):
+        a = make_dataset(name, 100, seed=42)
+        b = make_dataset(name, 100, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("uniform", 100, seed=1)
+        b = make_dataset("uniform", 100, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestSkewOrdering:
+    def test_skew_statistic_ordering(self):
+        # The paper's Fig. 9 ordering: uniform < skewed < hi_skewed.
+        uniform = skewness_statistic(uniform_dataset(5000, seed=3))
+        skewed = skewness_statistic(skewed_dataset(5000, seed=3))
+        hi = skewness_statistic(hi_skewed_dataset(5000, seed=3))
+        assert uniform < skewed < hi
+
+    def test_empty_skew_is_zero(self):
+        assert skewness_statistic(np.empty((0, 2))) == 0.0
+
+
+class TestGaussianClusters:
+    def test_uniform_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_clusters_dataset(10, 2, 0.1, uniform_fraction=1.5)
+
+    def test_cluster_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_clusters_dataset(10, 0, 0.1)
+
+    def test_tight_clusters_are_tight(self):
+        points = gaussian_clusters_dataset(2000, n_clusters=1, std=0.01, seed=5)
+        # Nearly all mass within ~4 sigma of the single center.
+        center = np.median(points, axis=0)
+        distances = np.linalg.norm(points - center, axis=1)
+        assert np.quantile(distances, 0.95) < 0.05
+
+
+class TestQueries:
+    def test_default_uniform(self):
+        queries = make_queries(50, seed=4)
+        assert queries.shape == (50, 2)
+        assert np.all((queries >= 0) & (queries < 1))
+
+    def test_skewed_queries(self):
+        queries = make_queries(500, seed=4, distribution="skewed")
+        assert skewness_statistic(queries) > skewness_statistic(
+            make_queries(500, seed=4)
+        )
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            make_queries(10, distribution="bogus")

@@ -1,0 +1,63 @@
+"""Tests for the cluster-dispersion process (Fig. 21(b) workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion.datasets import skewness_statistic
+from repro.motion.dispersion import DispersionProcess
+
+
+class TestConstruction:
+    def test_bad_steps(self):
+        with pytest.raises(ConfigurationError):
+            DispersionProcess(100, steps=0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            DispersionProcess(100, steps=5, jitter=-0.1)
+
+    def test_bad_step_query(self):
+        process = DispersionProcess(100, steps=5, seed=1)
+        with pytest.raises(ConfigurationError):
+            process.positions_at(-1)
+
+
+class TestDispersion:
+    def test_endpoints(self):
+        process = DispersionProcess(500, steps=10, seed=2)
+        np.testing.assert_array_equal(process.positions_at(0), process.start)
+        np.testing.assert_allclose(
+            process.positions_at(10), np.clip(process.target, 0, 1 - 1e-9)
+        )
+
+    def test_beyond_final_step_stays_at_target(self):
+        process = DispersionProcess(100, steps=4, seed=3)
+        np.testing.assert_allclose(process.positions_at(4), process.positions_at(9))
+
+    def test_skew_decreases_monotonically(self):
+        process = DispersionProcess(5000, steps=10, seed=4)
+        skews = [
+            skewness_statistic(process.positions_at(step)) for step in range(11)
+        ]
+        # Start clustered, end uniform; trend must be clearly decreasing.
+        assert skews[0] > 5 * skews[-1]
+        assert all(skews[i] >= skews[i + 2] * 0.9 for i in range(len(skews) - 2))
+
+    def test_snapshots_count(self):
+        process = DispersionProcess(50, steps=7, seed=5)
+        assert len(list(process.snapshots())) == 8
+
+    def test_all_in_region(self):
+        process = DispersionProcess(1000, steps=5, jitter=0.02, seed=6)
+        for snapshot in process.snapshots():
+            assert np.all(snapshot >= 0.0)
+            assert np.all(snapshot < 1.0)
+
+    def test_jitter_changes_paths(self):
+        smooth = DispersionProcess(100, steps=5, jitter=0.0, seed=7)
+        noisy = DispersionProcess(100, steps=5, jitter=0.01, seed=7)
+        np.testing.assert_array_equal(smooth.positions_at(0), noisy.positions_at(0))
+        assert not np.array_equal(smooth.positions_at(3), noisy.positions_at(3))

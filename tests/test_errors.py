@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    IndexStateError,
+    NotEnoughObjectsError,
+    OutOfRegionError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError("x"),
+            IndexStateError("x"),
+            NotEnoughObjectsError(5, 3),
+            OutOfRegionError(1.5, -0.2),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_out_of_region_payload(self):
+        exc = OutOfRegionError(1.5, -0.2)
+        assert exc.x == 1.5
+        assert exc.y == -0.2
+        assert "1.5" in str(exc)
+
+    def test_not_enough_objects_payload(self):
+        exc = NotEnoughObjectsError(10, 3)
+        assert exc.k == 10
+        assert exc.population == 3
+        assert "10" in str(exc) and "3" in str(exc)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise NotEnoughObjectsError(2, 1)

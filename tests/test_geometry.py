@@ -1,0 +1,246 @@
+"""Unit tests for repro.grid.geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.grid.geometry import (
+    CellRect,
+    cell_of,
+    cells_ring,
+    clamp,
+    dist,
+    dist2,
+    min_dist2_point_box,
+    min_dist2_point_cell,
+    rect_centered,
+    rect_for_radius,
+    rect_paper_rcrit,
+)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-0.1, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(1.7, 0.0, 1.0) == 1.0
+
+    def test_boundaries(self):
+        assert clamp(0.0, 0.0, 1.0) == 0.0
+        assert clamp(1.0, 0.0, 1.0) == 1.0
+
+
+class TestDistances:
+    def test_dist2_zero(self):
+        assert dist2(0.3, 0.4, 0.3, 0.4) == 0.0
+
+    def test_dist2_pythagoras(self):
+        assert dist2(0.0, 0.0, 3.0, 4.0) == 25.0
+
+    def test_dist_matches_dist2(self):
+        assert dist(0.0, 0.0, 3.0, 4.0) == pytest.approx(5.0)
+
+    def test_dist_symmetry(self):
+        assert dist(0.1, 0.2, 0.7, 0.9) == pytest.approx(dist(0.7, 0.9, 0.1, 0.2))
+
+
+class TestCellOf:
+    def test_origin(self):
+        assert cell_of(0.0, 0.0, 0.1, 10) == (0, 0)
+
+    def test_interior(self):
+        assert cell_of(0.35, 0.75, 0.1, 10) == (3, 7)
+
+    def test_cell_boundary_goes_up(self):
+        # Use an exactly representable delta: a point on a cell border
+        # belongs to the upper cell (half-open cells).
+        assert cell_of(0.5, 0.25, 0.25, 4) == (2, 1)
+
+    def test_upper_boundary_clamped(self):
+        assert cell_of(1.0, 1.0, 0.1, 10) == (9, 9)
+
+    def test_negative_clamped(self):
+        assert cell_of(-0.01, -5.0, 0.1, 10) == (0, 0)
+
+    def test_single_cell_grid(self):
+        assert cell_of(0.9999, 0.0001, 1.0, 1) == (0, 0)
+
+
+class TestCellRect:
+    def test_counts(self):
+        rect = CellRect(1, 2, 3, 5)
+        assert rect.ncols == 3
+        assert rect.nrows == 4
+        assert rect.ncells == 12
+
+    def test_contains(self):
+        rect = CellRect(1, 1, 3, 3)
+        assert (2, 2) in rect
+        assert (1, 3) in rect
+        assert (0, 2) not in rect
+        assert (2, 4) not in rect
+
+    def test_cells_enumeration(self):
+        rect = CellRect(0, 0, 1, 1)
+        assert list(rect.cells()) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_cells_count_matches_ncells(self):
+        rect = CellRect(2, 3, 6, 4)
+        assert len(list(rect.cells())) == rect.ncells
+
+    def test_intersection_overlap(self):
+        a = CellRect(0, 0, 4, 4)
+        b = CellRect(2, 3, 8, 8)
+        assert a.intersection(b) == CellRect(2, 3, 4, 4)
+
+    def test_intersection_disjoint(self):
+        a = CellRect(0, 0, 1, 1)
+        b = CellRect(3, 3, 4, 4)
+        assert a.intersection(b) is None
+
+    def test_intersection_self(self):
+        a = CellRect(1, 1, 2, 2)
+        assert a.intersection(a) == a
+
+    def test_cells_not_in_disjoint(self):
+        a = CellRect(0, 0, 1, 1)
+        b = CellRect(5, 5, 6, 6)
+        assert set(a.cells_not_in(b)) == set(a.cells())
+
+    def test_cells_not_in_subset(self):
+        a = CellRect(0, 0, 2, 2)
+        assert list(a.cells_not_in(a)) == []
+
+    def test_cells_not_in_partial(self):
+        a = CellRect(0, 0, 2, 2)
+        b = CellRect(1, 1, 3, 3)
+        difference = set(a.cells_not_in(b))
+        expected = {cell for cell in a.cells() if cell not in b}
+        assert difference == expected
+
+    def test_cells_not_in_is_set_difference_everywhere(self):
+        a = CellRect(2, 2, 6, 5)
+        for b in (
+            CellRect(0, 0, 3, 3),
+            CellRect(4, 4, 9, 9),
+            CellRect(3, 0, 4, 9),
+            CellRect(0, 3, 9, 4),
+        ):
+            assert set(a.cells_not_in(b)) == set(a.cells()) - set(b.cells())
+
+
+class TestRectCentered:
+    def test_interior(self):
+        assert rect_centered(5, 5, 2, 10) == CellRect(3, 3, 7, 7)
+
+    def test_zero_size(self):
+        assert rect_centered(4, 4, 0, 10) == CellRect(4, 4, 4, 4)
+
+    def test_clamped_low(self):
+        assert rect_centered(0, 1, 2, 10) == CellRect(0, 0, 2, 3)
+
+    def test_clamped_high(self):
+        assert rect_centered(9, 8, 3, 10) == CellRect(6, 5, 9, 9)
+
+    def test_covers_whole_grid(self):
+        assert rect_centered(5, 5, 100, 10) == CellRect(0, 0, 9, 9)
+
+
+class TestRectForRadius:
+    def test_zero_radius_single_cell(self):
+        rect = rect_for_radius(0.55, 0.55, 0.0, 0.1, 10)
+        assert rect == CellRect(5, 5, 5, 5)
+
+    def test_covers_disc(self):
+        qx, qy, radius = 0.52, 0.47, 0.13
+        rect = rect_for_radius(qx, qy, radius, 0.1, 10)
+        # Every point of the disc must be inside the covered area.
+        for angle_deg in range(0, 360, 5):
+            angle = math.radians(angle_deg)
+            px = qx + radius * math.cos(angle)
+            py = qy + radius * math.sin(angle)
+            i, j = cell_of(px, py, 0.1, 10)
+            assert (i, j) in rect
+
+    def test_never_larger_than_paper_rect(self):
+        for qx, qy, radius in [(0.5, 0.5, 0.2), (0.01, 0.9, 0.05), (0.33, 0.66, 0.4)]:
+            tight = rect_for_radius(qx, qy, radius, 0.1, 10)
+            paper = rect_paper_rcrit(qx, qy, radius, 0.1, 10)
+            assert tight.ncells <= paper.ncells
+
+    def test_paper_rect_covers_disc(self):
+        qx, qy, radius = 0.41, 0.77, 0.17
+        rect = rect_paper_rcrit(qx, qy, radius, 0.1, 10)
+        for angle_deg in range(0, 360, 5):
+            angle = math.radians(angle_deg)
+            px = clampf(qx + radius * math.cos(angle))
+            py = clampf(qy + radius * math.sin(angle))
+            assert cell_of(px, py, 0.1, 10) in rect
+
+    def test_clamped_at_border(self):
+        rect = rect_for_radius(0.02, 0.98, 0.3, 0.1, 10)
+        assert rect.ilo == 0
+        assert rect.jhi == 9
+
+
+def clampf(v: float) -> float:
+    return min(max(v, 0.0), 1.0 - 1e-12)
+
+
+class TestMinDist:
+    def test_inside_box_is_zero(self):
+        assert min_dist2_point_box(0.5, 0.5, 0.0, 0.0, 1.0, 1.0) == 0.0
+
+    def test_left_of_box(self):
+        assert min_dist2_point_box(-1.0, 0.5, 0.0, 0.0, 1.0, 1.0) == 1.0
+
+    def test_corner(self):
+        assert min_dist2_point_box(-3.0, -4.0, 0.0, 0.0, 1.0, 1.0) == 25.0
+
+    def test_cell_version(self):
+        # Cell (2, 3) with delta 0.1 covers [0.2, 0.3) x [0.3, 0.4).
+        assert min_dist2_point_cell(0.25, 0.35, 2, 3, 0.1) == 0.0
+        assert min_dist2_point_cell(0.1, 0.35, 2, 3, 0.1) == pytest.approx(0.01)
+
+
+class TestCellsRing:
+    def test_ring_zero_is_center(self):
+        assert cells_ring(4, 4, 0, 10) == [(4, 4)]
+
+    def test_ring_one_has_eight_cells(self):
+        ring = cells_ring(4, 4, 1, 10)
+        assert len(ring) == 8
+        assert all(max(abs(i - 4), abs(j - 4)) == 1 for i, j in ring)
+
+    def test_ring_l_has_8l_cells_interior(self):
+        for level in (1, 2, 3):
+            ring = cells_ring(5, 5, level, 20)
+            assert len(ring) == 8 * level
+
+    def test_rings_partition_rect(self):
+        # Union of rings 0..l equals the centered rect of size l.
+        cells = set()
+        for level in range(4):
+            cells.update(cells_ring(7, 7, level, 20))
+        assert cells == set(rect_centered(7, 7, 3, 20).cells())
+
+    def test_ring_clamped_at_corner(self):
+        ring = cells_ring(0, 0, 1, 10)
+        assert set(ring) == {(0, 1), (1, 1), (1, 0)}
+
+    def test_ring_outside_grid_empty(self):
+        assert cells_ring(0, 0, 25, 10) == []
+
+    def test_no_duplicates(self):
+        for level in range(6):
+            ring = cells_ring(2, 8, level, 12)
+            assert len(ring) == len(set(ring))
+
+    def test_center_outside_grid(self):
+        assert cells_ring(-5, -5, 0, 10) == []

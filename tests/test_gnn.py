@@ -1,0 +1,131 @@
+"""Tests for continuous group nearest neighbor monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gnn import (
+    GNNMonitor,
+    GroupQuery,
+    brute_force_group_knn,
+    group_knn,
+)
+from repro.core.object_index import ObjectIndex
+from repro.errors import ConfigurationError, NotEnoughObjectsError
+from repro.motion import RandomWalkModel, make_dataset, make_queries
+
+
+def built_index(points):
+    index = ObjectIndex(n_objects=len(points))
+    index.build(points)
+    return index
+
+
+class TestGroupQuery:
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            GroupQuery(np.zeros((0, 2)))
+        with pytest.raises(ConfigurationError):
+            GroupQuery(np.zeros((3, 3)))
+
+    def test_centroid(self):
+        group = GroupQuery(np.asarray([[0.0, 0.0], [1.0, 0.0], [0.5, 0.9]]))
+        assert group.cx == pytest.approx(0.5)
+        assert group.cy == pytest.approx(0.3)
+
+    def test_aggregate_sum(self):
+        group = GroupQuery(np.asarray([[0.0, 0.0], [1.0, 0.0]]))
+        assert group.aggregate(0.5, 0.0, "sum") == pytest.approx(1.0)
+
+    def test_aggregate_max(self):
+        group = GroupQuery(np.asarray([[0.0, 0.0], [1.0, 0.0]]))
+        assert group.aggregate(0.2, 0.0, "max") == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("kind", ["sum", "max"])
+    def test_lower_bound_is_valid(self, kind):
+        rng = np.random.default_rng(1)
+        group = GroupQuery(rng.random((4, 2)))
+        for _ in range(200):
+            px, py = rng.random(2)
+            d_c = float(np.hypot(px - group.cx, py - group.cy))
+            assert group.lower_bound(d_c, kind) <= group.aggregate(px, py, kind) + 1e-12
+
+
+class TestGroupKnn:
+    @pytest.mark.parametrize("dataset", ["uniform", "hi_skewed"])
+    @pytest.mark.parametrize("aggregate", ["sum", "max"])
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_matches_brute(self, dataset, aggregate, k):
+        points = make_dataset(dataset, 500, seed=2)
+        index = built_index(points)
+        group_points = make_queries(4, seed=3)
+        got = group_knn(index, GroupQuery(group_points), k, aggregate)
+        want = brute_force_group_knn(points, group_points, k, aggregate)
+        got_d = [round(d, 10) for _, d in got]
+        want_d = [round(d, 10) for _, d in want]
+        assert got_d == want_d
+
+    def test_group_of_one_equals_knn(self):
+        points = make_dataset("uniform", 300, seed=4)
+        index = built_index(points)
+        single = np.asarray([[0.4, 0.6]])
+        got = group_knn(index, GroupQuery(single), 5, "sum")
+        plain = index.knn_overhaul(0.4, 0.6, 5).neighbors()
+        assert [round(d, 10) for _, d in got] == [round(d, 10) for _, d in plain]
+
+    def test_spread_out_group(self):
+        # Group members at opposite corners: the best sum-NN is central.
+        points = make_dataset("uniform", 400, seed=5)
+        index = built_index(points)
+        corners = np.asarray([[0.02, 0.02], [0.98, 0.98], [0.02, 0.98], [0.98, 0.02]])
+        got = group_knn(index, GroupQuery(corners), 3, "sum")
+        want = brute_force_group_knn(points, corners, 3, "sum")
+        assert [round(d, 10) for _, d in got] == [round(d, 10) for _, d in want]
+
+    def test_bad_aggregate(self):
+        index = built_index(make_dataset("uniform", 10, seed=6))
+        with pytest.raises(ConfigurationError):
+            group_knn(index, GroupQuery(np.asarray([[0.5, 0.5]])), 2, "median")
+
+    def test_k_too_large(self):
+        index = built_index(make_dataset("uniform", 5, seed=7))
+        with pytest.raises(NotEnoughObjectsError):
+            group_knn(index, GroupQuery(np.asarray([[0.5, 0.5]])), 6, "sum")
+
+    def test_bad_k(self):
+        index = built_index(make_dataset("uniform", 5, seed=8))
+        with pytest.raises(ConfigurationError):
+            group_knn(index, GroupQuery(np.asarray([[0.5, 0.5]])), 0, "sum")
+
+
+class TestGNNMonitor:
+    def test_cycles_stay_exact(self):
+        positions = make_dataset("skewed", 300, seed=9)
+        groups = [make_queries(3, seed=10), make_queries(5, seed=11)]
+        monitor = GNNMonitor(4, groups, aggregate="sum")
+        motion = RandomWalkModel(vmax=0.01, seed=12)
+        for _ in range(3):
+            positions = motion.step(positions)
+            answers = monitor.tick(positions)
+            for group_points, got in zip(groups, answers):
+                want = brute_force_group_knn(positions, group_points, 4, "sum")
+                assert [round(d, 10) for _, d in got] == [
+                    round(d, 10) for _, d in want
+                ]
+
+    def test_max_aggregate_monitoring(self):
+        positions = make_dataset("uniform", 200, seed=13)
+        groups = [make_queries(4, seed=14)]
+        monitor = GNNMonitor(2, groups, aggregate="max")
+        got = monitor.tick(positions)[0]
+        want = brute_force_group_knn(positions, groups[0], 2, "max")
+        assert [round(d, 10) for _, d in got] == [round(d, 10) for _, d in want]
+
+    def test_requires_groups(self):
+        with pytest.raises(ConfigurationError):
+            GNNMonitor(3, [])
+
+    def test_bad_aggregate(self):
+        with pytest.raises(ConfigurationError):
+            GNNMonitor(3, [np.asarray([[0.5, 0.5]])], aggregate="min")

@@ -1,0 +1,168 @@
+"""Unit tests for repro.grid.grid2d."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IndexStateError
+from repro.grid.geometry import CellRect
+from repro.grid.grid2d import Grid2D, resolve_grid_size
+
+
+class TestResolveGridSize:
+    def test_ncells_passthrough(self):
+        assert resolve_grid_size(ncells=16) == 16
+
+    def test_delta(self):
+        assert resolve_grid_size(delta=0.1) == 10
+
+    def test_delta_rounding(self):
+        assert resolve_grid_size(delta=0.33) == 3
+
+    def test_n_objects_sqrt(self):
+        assert resolve_grid_size(n_objects=10_000) == 100
+
+    def test_n_objects_small(self):
+        assert resolve_grid_size(n_objects=1) == 1
+
+    def test_n_objects_zero(self):
+        assert resolve_grid_size(n_objects=0) == 1
+
+    def test_requires_exactly_one(self):
+        with pytest.raises(ConfigurationError):
+            resolve_grid_size()
+        with pytest.raises(ConfigurationError):
+            resolve_grid_size(ncells=4, delta=0.25)
+
+    def test_bad_delta(self):
+        with pytest.raises(ConfigurationError):
+            resolve_grid_size(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            resolve_grid_size(delta=1.5)
+
+    def test_negative_objects(self):
+        with pytest.raises(ConfigurationError):
+            resolve_grid_size(n_objects=-1)
+
+
+class TestGrid2D:
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Grid2D(0)
+
+    def test_delta(self):
+        assert Grid2D(8).delta == pytest.approx(0.125)
+
+    def test_locate(self):
+        grid = Grid2D(10)
+        assert grid.locate(0.55, 0.21) == (5, 2)
+
+    def test_insert_and_bucket(self):
+        grid = Grid2D(4)
+        grid.insert(7, 1, 2)
+        grid.insert(9, 1, 2)
+        assert grid.bucket(1, 2) == [7, 9]
+
+    def test_bucket_at(self):
+        grid = Grid2D(4)
+        grid.insert(3, 2, 1)
+        assert grid.bucket_at(0.6, 0.3) == [3]
+
+    def test_remove(self):
+        grid = Grid2D(4)
+        grid.insert(7, 1, 2)
+        grid.remove(7, 1, 2)
+        assert grid.bucket(1, 2) == []
+
+    def test_remove_missing_raises(self):
+        grid = Grid2D(4)
+        with pytest.raises(IndexStateError):
+            grid.remove(7, 1, 2)
+
+    def test_clear(self):
+        grid = Grid2D(4)
+        grid.insert(1, 0, 0)
+        grid.insert(2, 3, 3)
+        grid.clear()
+        assert grid.total_ids() == 0
+
+    def test_total_ids(self):
+        grid = Grid2D(4)
+        for ident in range(5):
+            grid.insert(ident, ident % 4, 0)
+        assert grid.total_ids() == 5
+
+
+class TestBulkLoad:
+    def test_ids_are_row_indices(self):
+        grid = Grid2D(2)
+        xs = np.asarray([0.1, 0.9, 0.1])
+        ys = np.asarray([0.1, 0.9, 0.9])
+        grid.bulk_load_points(xs, ys)
+        assert grid.bucket(0, 0) == [0]
+        assert grid.bucket(1, 1) == [1]
+        assert grid.bucket(0, 1) == [2]
+
+    def test_total_matches_population(self, rng):
+        grid = Grid2D(13)
+        points = rng.random((500, 2))
+        grid.bulk_load_points(points[:, 0], points[:, 1])
+        assert grid.total_ids() == 500
+
+    def test_reload_replaces(self, rng):
+        grid = Grid2D(5)
+        points = rng.random((100, 2))
+        grid.bulk_load_points(points[:, 0], points[:, 1])
+        grid.bulk_load_points(points[:50, 0], points[:50, 1])
+        assert grid.total_ids() == 50
+
+    def test_empty(self):
+        grid = Grid2D(5)
+        grid.bulk_load_points(np.empty(0), np.empty(0))
+        assert grid.total_ids() == 0
+
+    def test_boundary_points_clamped(self):
+        grid = Grid2D(4)
+        grid.bulk_load_points(np.asarray([1.0]), np.asarray([1.0]))
+        assert grid.bucket(3, 3) == [0]
+
+    def test_every_point_in_its_cell(self, rng):
+        grid = Grid2D(9)
+        points = rng.random((300, 2))
+        grid.bulk_load_points(points[:, 0], points[:, 1])
+        for j in range(9):
+            for i in range(9):
+                for ident in grid.bucket(i, j):
+                    assert grid.locate(points[ident, 0], points[ident, 1]) == (i, j)
+
+
+class TestRectQueries:
+    def _loaded(self):
+        grid = Grid2D(4)
+        # One object per cell, ID = flat index.
+        xs, ys = [], []
+        for j in range(4):
+            for i in range(4):
+                xs.append((i + 0.5) / 4)
+                ys.append((j + 0.5) / 4)
+        grid.bulk_load_points(np.asarray(xs), np.asarray(ys))
+        return grid
+
+    def test_count_in_rect(self):
+        grid = self._loaded()
+        assert grid.count_in_rect(CellRect(0, 0, 1, 1)) == 4
+        assert grid.count_in_rect(CellRect(0, 0, 3, 3)) == 16
+        assert grid.count_in_rect(CellRect(2, 2, 2, 2)) == 1
+
+    def test_ids_in_rect(self):
+        grid = self._loaded()
+        assert sorted(grid.ids_in_rect(CellRect(0, 0, 1, 0))) == [0, 1]
+
+    def test_ids_in_cells(self):
+        grid = self._loaded()
+        assert sorted(grid.ids_in_cells([(0, 0), (3, 3)])) == [0, 15]
+
+    def test_occupancy(self):
+        grid = self._loaded()
+        assert grid.occupancy() == [1] * 16

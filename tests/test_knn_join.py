@@ -1,0 +1,126 @@
+"""Tests for the bichromatic k-NN join monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knn_join import KNNJoinMonitor, brute_force_knn_join
+from repro.errors import ConfigurationError, NotEnoughObjectsError
+from repro.motion import RandomWalkModel, make_dataset
+
+
+def assert_join_matches(got, want, tol=1e-12):
+    assert len(got) == len(want)
+    for answer, expected in zip(got, want):
+        got_d = [d for _, d in answer.neighbors()]
+        want_d = [d for _, d in expected]
+        np.testing.assert_allclose(got_d, want_d, atol=tol)
+
+
+class TestJoin:
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            KNNJoinMonitor(0)
+
+    def test_b_too_small(self):
+        monitor = KNNJoinMonitor(5)
+        with pytest.raises(NotEnoughObjectsError):
+            monitor.tick(np.zeros((3, 2)), np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_brute(self, k):
+        a = make_dataset("uniform", 80, seed=1)
+        b = make_dataset("skewed", 500, seed=2)
+        monitor = KNNJoinMonitor(k)
+        got = monitor.tick(a, b)
+        want = brute_force_knn_join(a, b, k)
+        assert_join_matches(got, want)
+
+    def test_cycles_stay_exact_both_moving(self):
+        a = make_dataset("uniform", 50, seed=3)
+        b = make_dataset("uniform", 400, seed=4)
+        monitor = KNNJoinMonitor(3)
+        motion_a = RandomWalkModel(vmax=0.01, seed=5)
+        motion_b = RandomWalkModel(vmax=0.01, seed=6)
+        for _ in range(5):
+            a = motion_a.step(a)
+            b = motion_b.step(b)
+            got = monitor.tick(a, b)
+            want = brute_force_knn_join(a, b, 3)
+            assert_join_matches(got, want)
+
+    def test_incremental_equals_overhaul(self):
+        a = make_dataset("uniform", 40, seed=7)
+        b = make_dataset("uniform", 300, seed=8)
+        incremental = KNNJoinMonitor(3, incremental=True)
+        overhaul = KNNJoinMonitor(3, incremental=False)
+        motion = RandomWalkModel(vmax=0.01, seed=9)
+        current_b = b
+        for _ in range(3):
+            current_b = motion.step(current_b)
+            x = incremental.tick(a, current_b)
+            y = overhaul.tick(a, current_b)
+            assert_join_matches(
+                x, [answer.neighbors() for answer in y]
+            )
+
+    def test_population_change_handled(self):
+        a = make_dataset("uniform", 20, seed=10)
+        monitor = KNNJoinMonitor(2)
+        monitor.tick(a, make_dataset("uniform", 100, seed=11))
+        b2 = make_dataset("uniform", 150, seed=12)
+        got = monitor.tick(a, b2)
+        want = brute_force_knn_join(a, b2, 2)
+        assert_join_matches(got, want)
+
+    def test_empty_a(self):
+        monitor = KNNJoinMonitor(2)
+        answers = monitor.tick(np.empty((0, 2)), make_dataset("uniform", 50, seed=13))
+        assert answers == []
+
+
+class TestClosestPairs:
+    def test_requires_tick(self):
+        with pytest.raises(ConfigurationError):
+            KNNJoinMonitor(2).closest_pairs(1)
+
+    def test_bounds(self):
+        a = make_dataset("uniform", 10, seed=14)
+        b = make_dataset("uniform", 50, seed=15)
+        monitor = KNNJoinMonitor(2)
+        monitor.tick(a, b)
+        with pytest.raises(ConfigurationError):
+            monitor.closest_pairs(0)
+        with pytest.raises(ConfigurationError):
+            monitor.closest_pairs(3)  # n > k
+
+    def test_matches_brute_force_pairs(self):
+        a = make_dataset("uniform", 30, seed=16)
+        b = make_dataset("uniform", 200, seed=17)
+        k = 5
+        monitor = KNNJoinMonitor(k)
+        monitor.tick(a, b)
+        got = monitor.closest_pairs(k)
+        # Ground truth: all |A| x |B| pairs sorted by distance.
+        diffs = a[:, None, :] - b[None, :, :]
+        all_d = np.sqrt(np.sum(diffs * diffs, axis=2))
+        flat = [
+            (float(all_d[i, j]), i, j)
+            for i in range(len(a))
+            for j in range(len(b))
+        ]
+        flat.sort()
+        want = [(i, j, d) for d, i, j in flat[:k]]
+        got_d = [round(d, 12) for _, _, d in got]
+        want_d = [round(d, 12) for _, _, d in want]
+        assert got_d == want_d
+
+    def test_pairs_sorted(self):
+        a = make_dataset("uniform", 20, seed=18)
+        b = make_dataset("uniform", 100, seed=19)
+        monitor = KNNJoinMonitor(4)
+        monitor.tick(a, b)
+        pairs = monitor.closest_pairs(4)
+        distances = [d for _, _, d in pairs]
+        assert distances == sorted(distances)

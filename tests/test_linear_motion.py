@@ -1,0 +1,74 @@
+"""Tests for the piecewise-linear motion model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion.linear import LinearMotionModel
+
+
+class TestConstruction:
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LinearMotionModel(-1)
+        with pytest.raises(ConfigurationError):
+            LinearMotionModel(10, vmax=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinearMotionModel(10, change_probability=1.5)
+
+    def test_velocity_bounds(self):
+        model = LinearMotionModel(1000, vmax=0.01, seed=1)
+        assert np.all(np.abs(model.velocities) <= 0.01)
+
+    def test_population_mismatch(self):
+        model = LinearMotionModel(10, seed=2)
+        with pytest.raises(ConfigurationError):
+            model.step(np.zeros((5, 2)))
+
+
+class TestMotion:
+    def test_constant_velocity_is_linear(self):
+        rng = np.random.default_rng(3)
+        positions = 0.4 + 0.2 * rng.random((100, 2))
+        model = LinearMotionModel(100, vmax=0.001, change_probability=0.0, seed=4)
+        v = model.velocities.copy()
+        one = model.step(positions)
+        two = model.step(one)
+        np.testing.assert_allclose(one, positions + v, atol=1e-12)
+        np.testing.assert_allclose(two, positions + 2 * v, atol=1e-12)
+
+    def test_stays_in_region(self):
+        positions = np.random.default_rng(5).random((500, 2))
+        model = LinearMotionModel(500, vmax=0.05, change_probability=0.1, seed=6)
+        for _ in range(30):
+            positions = model.step(positions)
+            assert np.all((positions >= 0.0) & (positions < 1.0))
+
+    def test_reflection_flips_velocity(self):
+        positions = np.asarray([[0.999, 0.5]])
+        model = LinearMotionModel(1, vmax=0.01, change_probability=0.0, seed=7)
+        model.velocities[0] = (0.01, 0.0)
+        moved = model.step(positions)
+        assert moved[0, 0] < 1.0
+        assert model.velocities[0, 0] == -0.01
+        assert 0 in model.last_changed
+
+    def test_no_changes_reported_when_stable(self):
+        positions = 0.5 * np.ones((50, 2))
+        model = LinearMotionModel(50, vmax=0.001, change_probability=0.0, seed=8)
+        model.step(positions)
+        assert len(model.last_changed) == 0
+
+    def test_full_change_probability(self):
+        positions = 0.5 * np.ones((50, 2))
+        model = LinearMotionModel(50, vmax=0.001, change_probability=1.0, seed=9)
+        model.step(positions)
+        assert len(model.last_changed) == 50
+
+    def test_predicted_positions(self):
+        positions = 0.5 * np.ones((10, 2))
+        model = LinearMotionModel(10, vmax=0.01, change_probability=0.0, seed=10)
+        predicted = model.predicted_positions(positions, 3.0)
+        np.testing.assert_allclose(predicted, positions + 3.0 * model.velocities)

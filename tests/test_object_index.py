@@ -1,0 +1,248 @@
+"""Unit and integration tests for the one-level Object-Index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.object_index import ObjectIndex
+from repro.errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from repro.motion import RandomWalkModel, make_dataset
+from tests.conftest import assert_same_distances
+
+
+def built_index(points, **kwargs):
+    index = ObjectIndex(**kwargs) if kwargs else ObjectIndex(n_objects=len(points))
+    index.build(points)
+    return index
+
+
+class TestConstruction:
+    def test_needs_one_size_spec(self):
+        with pytest.raises(ConfigurationError):
+            ObjectIndex()
+        with pytest.raises(ConfigurationError):
+            ObjectIndex(ncells=4, delta=0.25)
+
+    def test_optimal_sizing(self):
+        index = ObjectIndex(n_objects=400)
+        assert index.ncells == 20
+        assert index.delta == pytest.approx(0.05)
+
+    def test_not_built_initially(self):
+        index = ObjectIndex(ncells=4)
+        assert not index.built
+        with pytest.raises(IndexStateError):
+            index.knn_overhaul(0.5, 0.5, 1)
+        with pytest.raises(IndexStateError):
+            index.update(np.zeros((1, 2)))
+        with pytest.raises(IndexStateError):
+            index.validate()
+
+
+class TestBuild:
+    def test_build_sets_state(self, uniform_1k):
+        index = built_index(uniform_1k)
+        assert index.built
+        assert index.n_objects == 1000
+        index.validate()
+
+    def test_rebuild_replaces(self, uniform_1k):
+        index = built_index(uniform_1k)
+        index.build(uniform_1k[:100])
+        assert index.n_objects == 100
+        index.validate()
+
+    def test_position_of(self, uniform_1k):
+        index = built_index(uniform_1k)
+        x, y = index.position_of(17)
+        assert (x, y) == (uniform_1k[17, 0], uniform_1k[17, 1])
+
+    def test_empty_population(self):
+        index = ObjectIndex(ncells=4)
+        index.build(np.empty((0, 2)))
+        assert index.n_objects == 0
+        with pytest.raises(NotEnoughObjectsError):
+            index.knn_overhaul(0.5, 0.5, 1)
+
+
+class TestKnnOverhaul:
+    @pytest.mark.parametrize("k", [1, 3, 10, 25])
+    def test_matches_brute_force_uniform(self, uniform_1k, k):
+        index = built_index(uniform_1k)
+        for qx, qy in [(0.5, 0.5), (0.01, 0.01), (0.99, 0.45), (0.33, 0.92)]:
+            got = index.knn_overhaul(qx, qy, k).neighbors()
+            want = brute_force_knn(uniform_1k, qx, qy, k)
+            assert_same_distances(got, want)
+
+    def test_matches_brute_force_skewed(self, skewed_1k):
+        index = built_index(skewed_1k)
+        for qx, qy in [(0.5, 0.5), (0.05, 0.95)]:
+            got = index.knn_overhaul(qx, qy, 10).neighbors()
+            want = brute_force_knn(skewed_1k, qx, qy, 10)
+            assert_same_distances(got, want)
+
+    def test_k_equals_population(self):
+        points = np.asarray([[0.1, 0.1], [0.9, 0.9], [0.5, 0.2]])
+        index = built_index(points, ncells=3)
+        got = index.knn_overhaul(0.5, 0.5, 3).neighbors()
+        want = brute_force_knn(points, 0.5, 0.5, 3)
+        assert_same_distances(got, want)
+
+    def test_k_too_large_raises(self, uniform_1k):
+        index = built_index(uniform_1k)
+        with pytest.raises(NotEnoughObjectsError):
+            index.knn_overhaul(0.5, 0.5, 1001)
+
+    def test_query_outside_region_still_exact(self, uniform_1k):
+        # locate() clamps, so even out-of-region queries are answered.
+        index = built_index(uniform_1k)
+        got = index.knn_overhaul(1.2, -0.3, 5).neighbors()
+        want = brute_force_knn(uniform_1k, 1.2, -0.3, 5)
+        assert_same_distances(got, want)
+
+    def test_strict_paper_rcrit_also_exact(self, uniform_1k):
+        index = built_index(uniform_1k, ncells=31, strict_paper_rcrit=True)
+        for qx, qy in [(0.5, 0.5), (0.02, 0.97)]:
+            got = index.knn_overhaul(qx, qy, 10).neighbors()
+            want = brute_force_knn(uniform_1k, qx, qy, 10)
+            assert_same_distances(got, want)
+
+    def test_pruning_does_not_change_answers(self, skewed_1k):
+        pruned = built_index(skewed_1k, ncells=31, prune_cells=True)
+        plain = built_index(skewed_1k, ncells=31, prune_cells=False)
+        for qx, qy in [(0.5, 0.5), (0.1, 0.1), (0.77, 0.31)]:
+            a = pruned.knn_overhaul(qx, qy, 8).neighbors()
+            b = plain.knn_overhaul(qx, qy, 8).neighbors()
+            assert_same_distances(a, b)
+
+    def test_single_cell_grid(self, uniform_1k):
+        index = built_index(uniform_1k, ncells=1)
+        got = index.knn_overhaul(0.4, 0.6, 7).neighbors()
+        want = brute_force_knn(uniform_1k, 0.4, 0.6, 7)
+        assert_same_distances(got, want)
+
+    def test_boundary_float_regression(self):
+        # Regression: y just below 1.0 used to land in different cells in
+        # the bulk loader (y * n) and the query path (y / delta), making
+        # the critical rectangle invert and the answer come back empty.
+        y = 0.9999999999999999
+        points = np.asarray([[0.0, y]])
+        index = built_index(points, ncells=3)
+        got = index.knn_overhaul(0.0, y, 1).neighbors()
+        want = brute_force_knn(points, 0.0, y, 1)
+        assert_same_distances(got, want)
+
+    def test_duplicate_points(self):
+        points = np.full((20, 2), 0.5)
+        index = built_index(points, ncells=5)
+        answer = index.knn_overhaul(0.5, 0.5, 5)
+        assert answer.kth_dist() == 0.0
+        assert len(answer) == 5
+
+
+class TestIncrementalUpdate:
+    def test_no_motion_no_moves(self, uniform_1k):
+        index = built_index(uniform_1k)
+        assert index.update(uniform_1k.copy()) == 0
+        index.validate()
+
+    def test_small_motion_few_moves(self, uniform_1k):
+        index = built_index(uniform_1k)
+        motion = RandomWalkModel(vmax=0.001, seed=3)
+        moved = motion.step(uniform_1k)
+        moves = index.update(moved)
+        # With vmax far below delta (~0.0316) most objects stay put.
+        assert 0 < moves < 200
+        index.validate()
+
+    def test_large_motion_many_moves(self, uniform_1k):
+        index = built_index(uniform_1k)
+        motion = RandomWalkModel(vmax=0.2, seed=3)
+        moves = index.update(motion.step(uniform_1k))
+        assert moves > 500
+        index.validate()
+
+    def test_update_then_queries_exact(self, uniform_1k):
+        index = built_index(uniform_1k)
+        motion = RandomWalkModel(vmax=0.01, seed=5)
+        current = uniform_1k
+        for _ in range(5):
+            current = motion.step(current)
+            index.update(current)
+        got = index.knn_overhaul(0.42, 0.58, 10).neighbors()
+        want = brute_force_knn(current, 0.42, 0.58, 10)
+        assert_same_distances(got, want)
+
+    def test_population_change_rejected(self, uniform_1k):
+        index = built_index(uniform_1k)
+        with pytest.raises(IndexStateError):
+            index.update(uniform_1k[:500])
+
+    def test_sorted_cells_mode(self, uniform_1k):
+        index = built_index(uniform_1k, ncells=31, sorted_cells=True)
+        motion = RandomWalkModel(vmax=0.05, seed=5)
+        current = motion.step(uniform_1k)
+        index.update(current)
+        index.validate()
+        got = index.knn_overhaul(0.5, 0.5, 5).neighbors()
+        want = brute_force_knn(current, 0.5, 0.5, 5)
+        assert_same_distances(got, want)
+
+
+class TestKnnIncremental:
+    def test_matches_brute_after_motion(self, uniform_1k):
+        index = built_index(uniform_1k)
+        previous = index.knn_overhaul(0.5, 0.5, 10).object_ids()
+        motion = RandomWalkModel(vmax=0.005, seed=9)
+        moved = motion.step(uniform_1k)
+        index.build(moved)
+        got = index.knn_incremental(0.5, 0.5, 10, previous).neighbors()
+        want = brute_force_knn(moved, 0.5, 0.5, 10)
+        assert_same_distances(got, want)
+
+    def test_falls_back_without_previous(self, uniform_1k):
+        index = built_index(uniform_1k)
+        got = index.knn_incremental(0.5, 0.5, 10, []).neighbors()
+        want = brute_force_knn(uniform_1k, 0.5, 0.5, 10)
+        assert_same_distances(got, want)
+
+    def test_falls_back_on_stale_ids(self, uniform_1k):
+        index = built_index(uniform_1k)
+        got = index.knn_incremental(0.5, 0.5, 3, [5000, 6000, 7000]).neighbors()
+        want = brute_force_knn(uniform_1k, 0.5, 0.5, 3)
+        assert_same_distances(got, want)
+
+    def test_repeated_cycles_stay_exact(self, skewed_1k):
+        index = built_index(skewed_1k)
+        motion = RandomWalkModel(vmax=0.01, seed=1)
+        current = skewed_1k
+        previous = index.knn_overhaul(0.3, 0.7, 8).object_ids()
+        for _ in range(10):
+            current = motion.step(current)
+            index.update(current)
+            answer = index.knn_incremental(0.3, 0.7, 8, previous)
+            want = brute_force_knn(current, 0.3, 0.7, 8)
+            assert_same_distances(answer.neighbors(), want)
+            previous = answer.object_ids()
+
+
+class TestCriticalRectStats:
+    def test_stats_cover_k(self, uniform_1k):
+        index = built_index(uniform_1k)
+        cells, objects = index.critical_rect_stats(0.5, 0.5, 10)
+        assert cells >= 1
+        assert objects >= 10
+
+    def test_dense_area_has_fewer_cells(self, hi_skewed_1k):
+        index = built_index(hi_skewed_1k)
+        # Find a dense spot: the cell with the most objects.
+        occupancy = index.grid.occupancy()
+        dense_flat = int(np.argmax(occupancy))
+        n = index.ncells
+        dense_x = (dense_flat % n + 0.5) * index.delta
+        dense_y = (dense_flat // n + 0.5) * index.delta
+        dense_cells, _ = index.critical_rect_stats(dense_x, dense_y, 5)
+        sparse_cells, _ = index.critical_rect_stats(0.999, 0.001, 5)
+        assert dense_cells <= sparse_cells

@@ -1,0 +1,140 @@
+"""Tests for the stable-key dynamic population layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.monitor import MonitoringSystem
+from repro.core.population import DynamicPopulation
+from repro.errors import ConfigurationError, OutOfRegionError
+from repro.motion import make_queries
+from tests.conftest import assert_same_distances
+
+
+class TestMembership:
+    def test_add_and_len(self):
+        population = DynamicPopulation()
+        population.add("car-1", 0.5, 0.5)
+        population.add(42, 0.1, 0.9)
+        assert len(population) == 2
+        assert "car-1" in population
+        assert 42 in population
+        assert "bus-9" not in population
+
+    def test_duplicate_add(self):
+        population = DynamicPopulation()
+        population.add("x", 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            population.add("x", 0.2, 0.2)
+
+    def test_out_of_region(self):
+        population = DynamicPopulation()
+        with pytest.raises(OutOfRegionError):
+            population.add("x", 1.0, 0.5)
+        population.add("y", 0.5, 0.5)
+        with pytest.raises(OutOfRegionError):
+            population.move("y", -0.1, 0.5)
+
+    def test_remove_swaps_last_row(self):
+        population = DynamicPopulation()
+        population.add("a", 0.1, 0.1)
+        population.add("b", 0.2, 0.2)
+        population.add("c", 0.3, 0.3)
+        population.remove("a")
+        assert len(population) == 2
+        # "c" took row 0; positions stay attached to their keys.
+        assert population.position_of("c") == (0.3, 0.3)
+        assert population.position_of("b") == (0.2, 0.2)
+        assert population.key_of(population.row_of("c")) == "c"
+
+    def test_remove_missing(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPopulation().remove("ghost")
+
+    def test_move(self):
+        population = DynamicPopulation()
+        population.add("a", 0.1, 0.1)
+        population.move("a", 0.8, 0.7)
+        assert population.position_of("a") == (0.8, 0.7)
+
+    def test_move_missing(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPopulation().move("ghost", 0.5, 0.5)
+
+
+class TestSnapshot:
+    def test_empty(self):
+        assert DynamicPopulation().snapshot().shape == (0, 2)
+
+    def test_rows_match_keys(self):
+        population = DynamicPopulation()
+        for i in range(10):
+            population.add(f"obj-{i}", i / 10.0, (9 - i) / 10.0)
+        snapshot = population.snapshot()
+        for key in population.keys():
+            row = population.row_of(key)
+            assert tuple(snapshot[row]) == population.position_of(key)
+
+    def test_snapshot_is_copy(self):
+        population = DynamicPopulation()
+        population.add("a", 0.5, 0.5)
+        snapshot = population.snapshot()
+        snapshot[0, 0] = 0.9
+        assert population.position_of("a") == (0.5, 0.5)
+
+
+class TestMonitoringWithChurn:
+    def test_answers_stay_exact_through_churn(self):
+        """Objects join and leave between cycles; answers stay exact and
+        are reported with stable external keys."""
+        rng = np.random.default_rng(5)
+        population = DynamicPopulation()
+        for i in range(300):
+            x, y = rng.random(2)
+            population.add(f"v{i}", float(x), float(y))
+        next_id = 300
+        queries = make_queries(5, seed=6)
+        system = MonitoringSystem.object_indexing(4, queries)
+        system.load(population.snapshot())
+        for _ in range(5):
+            # Churn: some objects leave, new ones arrive, the rest move.
+            keys = population.keys()
+            leavers = rng.choice(len(keys), size=20, replace=False)
+            for index in leavers:
+                population.remove(keys[index])
+            for _ in range(25):
+                x, y = rng.random(2)
+                population.add(f"v{next_id}", float(x), float(y))
+                next_id += 1
+            for key in population.keys():
+                x, y = rng.random(2)
+                population.move(key, float(x), float(y))
+
+            snapshot = population.snapshot()
+            answers = system.tick(snapshot)
+            keyed = population.translate_answers(answers)
+            for qa, keyed_answer in zip(answers, keyed):
+                qx, qy = queries[qa.query_id]
+                want = brute_force_knn(snapshot, qx, qy, 4)
+                assert_same_distances(qa.neighbors, want)
+                # The keyed answer mirrors the row answer through the map.
+                assert keyed_answer.k == qa.k
+                for (key, kd), (row, rd) in zip(
+                    keyed_answer.neighbors, qa.neighbors
+                ):
+                    assert population.row_of(key) == row
+                    assert kd == rd
+
+    def test_keyed_answer_accessors(self):
+        population = DynamicPopulation()
+        population.add("near", 0.5, 0.5)
+        population.add("far", 0.9, 0.9)
+        queries = np.asarray([[0.5, 0.5]])
+        system = MonitoringSystem.brute_force(2, queries)
+        answers = system.load(population.snapshot())
+        keyed = population.translate_answer(answers[0])
+        assert keyed.keys() == ("near", "far")
+        assert keyed.kth_dist() == answers[0].kth_dist()
+        assert keyed.query_id == 0

@@ -1,0 +1,68 @@
+"""Property-based tests for the AnswerList data structure."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.answers import AnswerList, answers_equal
+
+dist2 = st.floats(min_value=0.0, max_value=4.0, allow_nan=False, width=64)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(dist2, min_size=1, max_size=50), st.integers(min_value=1, max_value=10))
+def test_answer_list_keeps_k_smallest(distances, k):
+    answers = AnswerList(k)
+    for object_id, d2 in enumerate(distances):
+        answers.offer(d2, object_id)
+    got = [d2 for d2, _ in answers]
+    want = sorted(distances)[:k]
+    assert got == want
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(dist2, min_size=1, max_size=50), st.integers(min_value=1, max_value=10))
+def test_answer_list_sorted_and_bounded(distances, k):
+    answers = AnswerList(k)
+    for object_id, d2 in enumerate(distances):
+        answers.offer(d2, object_id)
+    entries = list(answers)
+    assert len(entries) == min(k, len(distances))
+    assert entries == sorted(entries)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(dist2, min_size=1, max_size=30), st.integers(min_value=1, max_value=5))
+def test_worst_dist2_is_kth_or_inf(distances, k):
+    answers = AnswerList(k)
+    for object_id, d2 in enumerate(distances):
+        answers.offer(d2, object_id)
+        if len(answers) < k:
+            assert answers.worst_dist2 == math.inf
+        else:
+            assert answers.worst_dist2 == list(answers)[-1][0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(dist2, min_size=1, max_size=30), st.integers(min_value=1, max_value=5))
+def test_offer_order_does_not_matter(distances, k):
+    forward = AnswerList(k)
+    backward = AnswerList(k)
+    for object_id, d2 in enumerate(distances):
+        forward.offer(d2, object_id)
+    for object_id, d2 in reversed(list(enumerate(distances))):
+        backward.offer(d2, object_id)
+    assert [d for d, _ in forward] == [d for d, _ in backward]
+    # IDs may differ only inside tie groups.
+    assert answers_equal(forward.neighbors(), backward.neighbors())
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(dist2, min_size=1, max_size=20))
+def test_answers_equal_reflexive(distances):
+    answers = AnswerList(10)
+    for object_id, d2 in enumerate(distances):
+        answers.offer(d2, object_id)
+    assert answers_equal(answers.neighbors(), answers.neighbors())

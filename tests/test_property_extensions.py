@@ -1,0 +1,96 @@
+"""Property-based tests for the extension monitors (RkNN, GNN, range)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gnn import GroupQuery, brute_force_group_knn, group_knn
+from repro.core.object_index import ObjectIndex
+from repro.core.range_monitor import (
+    CircleRegion,
+    RangeMonitor,
+    RectRegion,
+    brute_force_range,
+)
+from repro.core.rknn import RKNNMonitor
+
+coordinate = st.floats(
+    min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False, width=64
+)
+point = st.tuples(coordinate, coordinate)
+
+
+def as_array(points):
+    return np.asarray(points, dtype=np.float64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(point, min_size=4, max_size=40),
+    st.lists(point, min_size=1, max_size=4),
+    st.integers(min_value=1, max_value=3),
+)
+def test_rknn_reverse_condition_holds(object_points, query_points, k):
+    """Every reported reverse neighbor p satisfies dist(p, q) <= dk(p),
+    and every object not reported fails it (up to float boundary ties)."""
+    positions = as_array(object_points)
+    queries = as_array(query_points)
+    monitor = RKNNMonitor(k, queries)
+    answers = monitor.tick(positions)
+    dk = monitor.kth_distances()
+    for query_id, members in enumerate(answers):
+        qx, qy = queries[query_id]
+        member_set = set(members)
+        for object_id in range(len(positions)):
+            px, py = positions[object_id]
+            distance = float(np.hypot(px - qx, py - qy))
+            if object_id in member_set:
+                assert distance <= dk[object_id] + 1e-9
+            else:
+                assert distance >= dk[object_id] - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(point, min_size=2, max_size=40),
+    st.lists(point, min_size=1, max_size=5),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["sum", "max"]),
+)
+def test_group_knn_matches_brute(object_points, group_points, k, aggregate):
+    positions = as_array(object_points)
+    if k > len(positions):
+        k = len(positions)
+    index = ObjectIndex(n_objects=len(positions))
+    index.build(positions)
+    group = as_array(group_points)
+    got = group_knn(index, GroupQuery(group), k, aggregate)
+    want = brute_force_group_knn(positions, group, k, aggregate)
+    got_d = [round(d, 9) for _, d in got]
+    want_d = [round(d, 9) for _, d in want]
+    assert got_d == want_d
+
+
+@st.composite
+def region(draw):
+    if draw(st.booleans()):
+        x1, y1 = draw(point)
+        x2, y2 = draw(point)
+        return RectRegion(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    cx, cy = draw(point)
+    radius = draw(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    return CircleRegion(cx, cy, radius)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(point, min_size=0, max_size=60),
+    st.lists(region(), min_size=1, max_size=4),
+)
+def test_range_monitor_matches_brute(object_points, regions):
+    positions = as_array(object_points).reshape(-1, 2)
+    monitor = RangeMonitor(regions, ncells=16)
+    got = monitor.tick(positions)
+    want = brute_force_range(positions, regions)
+    assert [sorted(g) for g in got] == want

@@ -1,0 +1,175 @@
+"""Property-based tests: every index answers exactly like brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brute import brute_force_knn
+from repro.core.hierarchical import HierarchicalObjectIndex
+from repro.core.object_index import ObjectIndex
+from repro.core.query_index import QueryIndex
+from repro.rtree import RTree
+from tests.conftest import assert_same_distances
+
+coordinate = st.floats(
+    min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False, width=64
+)
+point = st.tuples(coordinate, coordinate)
+
+
+def as_array(points):
+    return np.asarray(points, dtype=np.float64)
+
+
+@st.composite
+def knn_case(draw, min_points=1, max_points=80):
+    points = draw(
+        st.lists(point, min_size=min_points, max_size=max_points)
+    )
+    k = draw(st.integers(min_value=1, max_value=len(points)))
+    query = draw(point)
+    return as_array(points), query, k
+
+
+@settings(max_examples=60, deadline=None)
+@given(knn_case())
+def test_object_index_overhaul_matches_brute(case):
+    points, (qx, qy), k = case
+    index = ObjectIndex(n_objects=len(points))
+    index.build(points)
+    got = index.knn_overhaul(qx, qy, k).neighbors()
+    want = brute_force_knn(points, qx, qy, k)
+    assert_same_distances(got, want)
+
+
+@settings(max_examples=60, deadline=None)
+@given(knn_case(), st.integers(min_value=1, max_value=9))
+def test_object_index_any_grid_size_matches_brute(case, ncells):
+    points, (qx, qy), k = case
+    index = ObjectIndex(ncells=ncells)
+    index.build(points)
+    got = index.knn_overhaul(qx, qy, k).neighbors()
+    want = brute_force_knn(points, qx, qy, k)
+    assert_same_distances(got, want)
+
+
+out_of_region = st.floats(
+    min_value=-2.0, max_value=3.0, allow_nan=False, width=64
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(point, min_size=1, max_size=40),
+    st.tuples(out_of_region, out_of_region),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=7),
+)
+def test_object_index_out_of_region_queries(points, query, k, ncells):
+    """Queries anywhere in the plane (even far outside the region) must
+    still be answered exactly — clamping may never invert a rectangle."""
+    points = as_array(points)
+    if k > len(points):
+        k = len(points)
+    qx, qy = query
+    index = ObjectIndex(ncells=ncells)
+    index.build(points)
+    got = index.knn_overhaul(qx, qy, k).neighbors()
+    want = brute_force_knn(points, qx, qy, k)
+    assert_same_distances(got, want)
+    seeded = index.knn_incremental(qx, qy, k, [i for i, _ in want]).neighbors()
+    assert_same_distances(seeded, want)
+
+
+@settings(max_examples=60, deadline=None)
+@given(knn_case())
+def test_hierarchical_matches_brute(case):
+    points, (qx, qy), k = case
+    index = HierarchicalObjectIndex(delta0=0.25, max_cell_load=4, split_factor=2)
+    index.build(points)
+    index.validate()
+    got = index.knn_overhaul(qx, qy, k).neighbors()
+    want = brute_force_knn(points, qx, qy, k)
+    assert_same_distances(got, want)
+
+
+@settings(max_examples=60, deadline=None)
+@given(knn_case())
+def test_rtree_matches_brute(case):
+    points, (qx, qy), k = case
+    tree = RTree(max_entries=5)
+    tree.bulk_load(points)
+    tree.validate()
+    got = tree.knn(qx, qy, k).neighbors()
+    want = brute_force_knn(points, qx, qy, k)
+    assert_same_distances(got, want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(knn_case(min_points=3))
+def test_rtree_incremental_inserts_match_brute(case):
+    points, (qx, qy), k = case
+    tree = RTree(max_entries=4)
+    for object_id, (x, y) in enumerate(points):
+        tree.insert(object_id, x, y)
+    tree.validate()
+    got = tree.knn(qx, qy, k).neighbors()
+    want = brute_force_knn(points, qx, qy, k)
+    assert_same_distances(got, want)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(point, min_size=5, max_size=60),
+    st.lists(point, min_size=1, max_size=5),
+    st.integers(min_value=1, max_value=5),
+)
+def test_query_index_bootstrap_matches_brute(object_points, query_points, k):
+    objects = as_array(object_points)
+    queries = as_array(query_points)
+    index = QueryIndex(queries, k, n_objects=len(objects))
+    answers = index.bootstrap(objects)
+    index.validate()
+    for query_id, answer in enumerate(answers):
+        want = brute_force_knn(objects, queries[query_id, 0], queries[query_id, 1], k)
+        assert_same_distances(answer.neighbors(), want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    knn_case(min_points=1),
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+)
+def test_tprtree_matches_extrapolated_brute(case, tq):
+    from repro.tprtree import TPRTree
+
+    points, (qx, qy), k = case
+    rng = np.random.default_rng(len(points))
+    velocities = rng.uniform(-0.01, 0.01, points.shape)
+    tree = TPRTree(max_entries=4)
+    for object_id in range(len(points)):
+        tree.insert(
+            object_id,
+            points[object_id, 0],
+            points[object_id, 1],
+            velocities[object_id, 0],
+            velocities[object_id, 1],
+            0.0,
+        )
+    tree.validate(tq)
+    future = points + velocities * tq
+    got = tree.knn(qx, qy, k, tq).neighbors()
+    want = brute_force_knn(future, qx, qy, k)
+    assert_same_distances(got, want, tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(knn_case(min_points=2))
+def test_incremental_answering_matches_overhaul(case):
+    points, (qx, qy), k = case
+    index = ObjectIndex(n_objects=len(points))
+    index.build(points)
+    overhaul = index.knn_overhaul(qx, qy, k)
+    incremental = index.knn_incremental(qx, qy, k, overhaul.object_ids())
+    assert_same_distances(incremental.neighbors(), overhaul.neighbors())

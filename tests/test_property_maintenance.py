@@ -1,0 +1,140 @@
+"""Property-based tests: incremental maintenance is equivalent to rebuild."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brute import brute_force_knn
+from repro.core.hierarchical import HierarchicalObjectIndex
+from repro.core.object_index import ObjectIndex
+from repro.core.query_index import QueryIndex
+from repro.motion.random_walk import reflect_into_unit
+from repro.rtree import RTree
+from tests.conftest import assert_same_distances
+
+coordinate = st.floats(
+    min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False, width=64
+)
+point = st.tuples(coordinate, coordinate)
+
+
+@st.composite
+def motion_sequence(draw, min_points=4, max_points=40, max_steps=4):
+    """An initial configuration plus a short sequence of displacements."""
+    points = np.asarray(
+        draw(st.lists(point, min_size=min_points, max_size=max_points)),
+        dtype=np.float64,
+    )
+    n_steps = draw(st.integers(min_value=1, max_value=max_steps))
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=n_steps,
+            max_size=n_steps,
+        )
+    )
+    vmax = draw(st.sampled_from([0.001, 0.01, 0.1, 0.5]))
+    snapshots = []
+    current = points
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        current = reflect_into_unit(
+            current + rng.uniform(-vmax, vmax, size=current.shape)
+        )
+        current = np.clip(current, 0.0, 1.0 - 1e-9)
+        snapshots.append(current)
+    return points, snapshots
+
+
+@settings(max_examples=40, deadline=None)
+@given(motion_sequence())
+def test_object_index_update_equals_rebuild(sequence):
+    initial, snapshots = sequence
+    updated = ObjectIndex(n_objects=len(initial))
+    updated.build(initial)
+    for snapshot in snapshots:
+        updated.update(snapshot)
+    updated.validate()
+    rebuilt = ObjectIndex(n_objects=len(initial))
+    rebuilt.build(snapshots[-1])
+    # Cell contents must agree as multisets.
+    got = [sorted(bucket) for bucket in updated.grid._buckets]
+    want = [sorted(bucket) for bucket in rebuilt.grid._buckets]
+    assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(motion_sequence())
+def test_hierarchical_update_preserves_invariants_and_exactness(sequence):
+    initial, snapshots = sequence
+    index = HierarchicalObjectIndex(delta0=0.25, max_cell_load=4, split_factor=2)
+    index.build(initial)
+    for snapshot in snapshots:
+        index.update(snapshot)
+        index.validate()
+    final = snapshots[-1]
+    k = min(3, len(final))
+    got = index.knn_overhaul(0.5, 0.5, k).neighbors()
+    want = brute_force_knn(final, 0.5, 0.5, k)
+    assert_same_distances(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(motion_sequence())
+def test_rtree_bottom_up_preserves_invariants_and_exactness(sequence):
+    initial, snapshots = sequence
+    tree = RTree(max_entries=4)
+    tree.bulk_load(initial)
+    for snapshot in snapshots:
+        for object_id in range(len(snapshot)):
+            tree.update_bottom_up(
+                object_id, snapshot[object_id, 0], snapshot[object_id, 1]
+            )
+        tree.validate()
+    final = snapshots[-1]
+    k = min(3, len(final))
+    got = tree.knn(0.3, 0.7, k).neighbors()
+    want = brute_force_knn(final, 0.3, 0.7, k)
+    assert_same_distances(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(motion_sequence(min_points=6), st.lists(point, min_size=1, max_size=4))
+def test_query_index_update_equals_rebuild(sequence, query_points):
+    initial, snapshots = sequence
+    queries = np.asarray(query_points, dtype=np.float64)
+    k = min(3, len(initial))
+
+    updated = QueryIndex(queries, k, n_objects=len(initial))
+    updated.bootstrap(initial)
+    rebuilt = QueryIndex(queries, k, n_objects=len(initial))
+    rebuilt.bootstrap(initial)
+
+    for snapshot in snapshots:
+        updated.update_index(snapshot)
+        rebuilt.rebuild_index(snapshot)
+        for query_id in range(len(queries)):
+            assert updated.critical_rect(query_id) == rebuilt.critical_rect(query_id)
+        updated.validate()
+        # Answering advances the previous-answer state identically.
+        got = updated.answer(snapshot)
+        want = rebuilt.answer(snapshot)
+        for answer_got, answer_want in zip(got, want):
+            assert_same_distances(answer_got.neighbors(), answer_want.neighbors())
+
+
+@settings(max_examples=30, deadline=None)
+@given(motion_sequence())
+def test_monitoring_cycle_exact_after_arbitrary_motion(sequence):
+    initial, snapshots = sequence
+    k = min(2, len(initial))
+    index = ObjectIndex(n_objects=len(initial))
+    index.build(initial)
+    previous = index.knn_overhaul(0.5, 0.5, k).object_ids()
+    for snapshot in snapshots:
+        index.update(snapshot)
+        answer = index.knn_incremental(0.5, 0.5, k, previous)
+        want = brute_force_knn(snapshot, 0.5, 0.5, k)
+        assert_same_distances(answer.neighbors(), want)
+        previous = answer.object_ids()

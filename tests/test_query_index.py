@@ -1,0 +1,165 @@
+"""Unit and integration tests for the Query-Index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.object_index import ObjectIndex
+from repro.core.query_index import QueryIndex
+from repro.errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from repro.motion import RandomWalkModel, make_queries
+from tests.conftest import assert_same_distances
+
+
+def bootstrapped(points, queries, k=10, **kwargs):
+    if not kwargs:
+        kwargs = {"n_objects": len(points)}
+    index = QueryIndex(queries, k, **kwargs)
+    index.bootstrap(points)
+    return index
+
+
+class TestConstruction:
+    def test_bad_queries_shape(self):
+        with pytest.raises(ConfigurationError):
+            QueryIndex(np.zeros((3, 3)), 5, ncells=4)
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            QueryIndex(np.zeros((3, 2)), 0, ncells=4)
+
+    def test_requires_bootstrap(self, uniform_1k, queries_20):
+        index = QueryIndex(queries_20, 5, n_objects=1000)
+        assert not index.bootstrapped
+        with pytest.raises(IndexStateError):
+            index.rebuild_index(uniform_1k)
+        with pytest.raises(IndexStateError):
+            index.update_index(uniform_1k)
+        with pytest.raises(IndexStateError):
+            index.answer(uniform_1k)
+
+    def test_k_larger_than_population(self, queries_20):
+        index = QueryIndex(queries_20, 10, ncells=4)
+        with pytest.raises(NotEnoughObjectsError):
+            index.bootstrap(np.random.default_rng(0).random((5, 2)))
+
+
+class TestBootstrap:
+    def test_initial_answers_exact(self, uniform_1k, queries_20):
+        index = QueryIndex(queries_20, 10, n_objects=1000)
+        answers = index.bootstrap(uniform_1k)
+        assert len(answers) == 20
+        for query_id, answer in enumerate(answers):
+            qx, qy = queries_20[query_id]
+            want = brute_force_knn(uniform_1k, qx, qy, 10)
+            assert_same_distances(answer.neighbors(), want)
+
+    def test_bootstrap_builds_rects(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        for query_id in range(20):
+            assert index.critical_rect(query_id) is not None
+        index.validate()
+
+    def test_bootstrap_with_shared_object_index(self, uniform_1k, queries_20):
+        object_index = ObjectIndex(n_objects=1000)
+        object_index.build(uniform_1k)
+        index = QueryIndex(queries_20, 10, n_objects=1000)
+        index.bootstrap(uniform_1k, object_index=object_index)
+        index.validate()
+
+    def test_rects_contain_previous_answers(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        for query_id in range(20):
+            rect = index.critical_rect(query_id)
+            for object_id in index.previous_answer_ids(query_id):
+                x, y = uniform_1k[object_id]
+                assert index.grid.locate(x, y) in rect
+
+
+class TestMaintenance:
+    def test_rebuild_equals_update(self, uniform_1k, queries_20):
+        motion = RandomWalkModel(vmax=0.01, seed=3)
+        moved = motion.step(uniform_1k)
+
+        rebuilt = bootstrapped(uniform_1k, queries_20)
+        rebuilt.rebuild_index(moved)
+        updated = bootstrapped(uniform_1k, queries_20)
+        updated.update_index(moved)
+
+        for query_id in range(20):
+            assert rebuilt.critical_rect(query_id) == updated.critical_rect(query_id)
+        rebuilt.validate()
+        updated.validate()
+
+    def test_update_no_motion_zero_ops(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        assert index.update_index(uniform_1k.copy()) == 0
+
+    def test_update_with_motion_some_ops(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        motion = RandomWalkModel(vmax=0.05, seed=3)
+        ops = index.update_index(motion.step(uniform_1k))
+        assert ops > 0
+        index.validate()
+
+    def test_population_change_rejected(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        with pytest.raises(IndexStateError):
+            index.rebuild_index(uniform_1k[:100])
+
+
+class TestAnswering:
+    def test_answers_exact_over_cycles(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        motion = RandomWalkModel(vmax=0.005, seed=13)
+        current = uniform_1k
+        for _ in range(6):
+            current = motion.step(current)
+            index.update_index(current)
+            answers = index.answer(current)
+            for query_id, answer in enumerate(answers):
+                qx, qy = queries_20[query_id]
+                want = brute_force_knn(current, qx, qy, 10)
+                assert_same_distances(answer.neighbors(), want)
+
+    def test_rebuild_maintenance_also_exact(self, skewed_1k, queries_20):
+        index = bootstrapped(skewed_1k, queries_20)
+        motion = RandomWalkModel(vmax=0.02, seed=13)
+        current = skewed_1k
+        for _ in range(3):
+            current = motion.step(current)
+            index.rebuild_index(current)
+            answers = index.answer(current)
+            for query_id, answer in enumerate(answers):
+                qx, qy = queries_20[query_id]
+                want = brute_force_knn(current, qx, qy, 10)
+                assert_same_distances(answer.neighbors(), want)
+
+    def test_single_query(self, uniform_1k):
+        queries = np.asarray([[0.5, 0.5]])
+        index = bootstrapped(uniform_1k, queries, k=5)
+        motion = RandomWalkModel(vmax=0.01, seed=2)
+        moved = motion.step(uniform_1k)
+        index.update_index(moved)
+        answers = index.answer(moved)
+        want = brute_force_knn(moved, 0.5, 0.5, 5)
+        assert_same_distances(answers[0].neighbors(), want)
+
+
+class TestStats:
+    def test_mean_rect_cells_positive(self, uniform_1k, queries_20):
+        index = bootstrapped(uniform_1k, queries_20)
+        assert index.mean_rect_cells() >= 1.0
+
+    def test_ql_identity(self, uniform_1k, queries_20):
+        # |QL| * ncells^2 == |Rcrit| * NQ (the paper's identity).
+        index = bootstrapped(uniform_1k, queries_20)
+        lhs = index.mean_query_list_length() * index.grid.ncells**2
+        rhs = index.mean_rect_cells() * index.n_queries
+        assert lhs == pytest.approx(rhs)
+
+    def test_empty_rects_before_bootstrap(self, queries_20):
+        index = QueryIndex(queries_20, 5, ncells=8)
+        assert index.mean_rect_cells() == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the random-walk motion model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion.random_walk import RandomWalkModel, reflect_into_unit
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        points = np.asarray([[0.2, 0.8]])
+        np.testing.assert_array_equal(reflect_into_unit(points), points)
+
+    def test_small_overshoot(self):
+        points = np.asarray([[1.1, -0.1]])
+        np.testing.assert_allclose(reflect_into_unit(points), [[0.9, 0.1]])
+
+    def test_large_overshoot(self):
+        points = np.asarray([[2.3, -1.7]])
+        reflected = reflect_into_unit(points)
+        assert np.all((reflected >= 0.0) & (reflected <= 1.0))
+        # 2.3 -> fold 0.3 beyond 2 -> 0.3 ; -1.7 -> mod 2 = 0.3 -> 0.3
+        np.testing.assert_allclose(reflected, [[0.3, 0.3]])
+
+    def test_boundary_exact(self):
+        points = np.asarray([[1.0, 0.0]])
+        np.testing.assert_allclose(reflect_into_unit(points), [[1.0, 0.0]])
+
+
+class TestRandomWalkModel:
+    def test_invalid_vmax(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkModel(vmax=-0.1)
+
+    def test_invalid_boundary(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkModel(boundary="bounce")
+
+    def test_zero_velocity_identity(self, uniform_1k):
+        model = RandomWalkModel(vmax=0.0, seed=1)
+        stepped = model.step(uniform_1k)
+        np.testing.assert_array_equal(stepped, uniform_1k)
+        assert stepped is not uniform_1k  # a copy, never an alias
+
+    @pytest.mark.parametrize("boundary", ["reflect", "wrap", "clip"])
+    def test_stays_in_unit_square(self, uniform_1k, boundary):
+        model = RandomWalkModel(vmax=0.3, boundary=boundary, seed=2)
+        current = uniform_1k
+        for _ in range(10):
+            current = model.step(current)
+            assert np.all(current >= 0.0)
+            assert np.all(current < 1.0)
+
+    def test_displacement_bounded_interior(self):
+        # Away from walls, per-axis displacement never exceeds vmax.
+        rng = np.random.default_rng(3)
+        points = 0.4 + 0.2 * rng.random((5000, 2))
+        model = RandomWalkModel(vmax=0.01, seed=4)
+        stepped = model.step(points)
+        assert np.max(np.abs(stepped - points)) <= 0.01 + 1e-12
+
+    def test_displacement_distribution(self):
+        # Mean displacement of U[-v, v] is ~0, std is v/sqrt(3).
+        rng = np.random.default_rng(5)
+        points = 0.5 * np.ones((200_000, 2))
+        model = RandomWalkModel(vmax=0.01, seed=6)
+        displacement = model.step(points) - points
+        assert abs(float(np.mean(displacement))) < 1e-4
+        assert float(np.std(displacement)) == pytest.approx(0.01 / np.sqrt(3), rel=0.02)
+
+    def test_seeded_reproducible(self, uniform_1k):
+        a = RandomWalkModel(vmax=0.01, seed=7).step(uniform_1k)
+        b = RandomWalkModel(vmax=0.01, seed=7).step(uniform_1k)
+        np.testing.assert_array_equal(a, b)
+
+    def test_run_yields_cycles(self, uniform_1k):
+        model = RandomWalkModel(vmax=0.01, seed=8)
+        snapshots = list(model.run(uniform_1k, cycles=5))
+        assert len(snapshots) == 5
+        for snap in snapshots:
+            assert snap.shape == uniform_1k.shape

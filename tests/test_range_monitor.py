@@ -1,0 +1,96 @@
+"""Tests for continuous range-query monitoring (Kalashnikov et al. baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.range_monitor import (
+    CircleRegion,
+    RangeMonitor,
+    RectRegion,
+    brute_force_range,
+)
+from repro.errors import ConfigurationError
+from repro.motion import RandomWalkModel, make_dataset
+
+
+class TestRegions:
+    def test_rect_contains(self):
+        region = RectRegion(0.2, 0.2, 0.6, 0.4)
+        assert region.contains(0.3, 0.3)
+        assert region.contains(0.2, 0.2)  # boundary inclusive
+        assert not region.contains(0.7, 0.3)
+        assert not region.contains(0.3, 0.5)
+
+    def test_rect_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            RectRegion(0.5, 0.5, 0.4, 0.6)
+
+    def test_circle_contains(self):
+        region = CircleRegion(0.5, 0.5, 0.1)
+        assert region.contains(0.5, 0.5)
+        assert region.contains(0.5, 0.6)  # boundary inclusive
+        assert not region.contains(0.5, 0.61)
+
+    def test_circle_negative_radius(self):
+        with pytest.raises(ConfigurationError):
+            CircleRegion(0.5, 0.5, -0.1)
+
+    def test_point_rect_is_valid(self):
+        region = RectRegion(0.5, 0.5, 0.5, 0.5)
+        assert region.contains(0.5, 0.5)
+
+
+class TestRangeMonitor:
+    def test_requires_regions(self):
+        with pytest.raises(ConfigurationError):
+            RangeMonitor([])
+
+    @pytest.mark.parametrize("dataset", ["uniform", "skewed"])
+    def test_matches_brute(self, dataset):
+        positions = make_dataset(dataset, 1000, seed=1)
+        regions = [
+            RectRegion(0.1, 0.1, 0.3, 0.4),
+            CircleRegion(0.5, 0.5, 0.15),
+            RectRegion(0.0, 0.0, 1.0, 1.0),
+            CircleRegion(0.95, 0.95, 0.02),
+        ]
+        monitor = RangeMonitor(regions)
+        got = monitor.tick(positions)
+        want = brute_force_range(positions, regions)
+        assert [sorted(g) for g in got] == want
+
+    def test_cycles_stay_exact(self):
+        positions = make_dataset("uniform", 500, seed=2)
+        regions = [RectRegion(0.4, 0.4, 0.6, 0.6), CircleRegion(0.2, 0.8, 0.1)]
+        monitor = RangeMonitor(regions)
+        motion = RandomWalkModel(vmax=0.02, seed=3)
+        for _ in range(5):
+            positions = motion.step(positions)
+            got = monitor.tick(positions)
+            want = brute_force_range(positions, regions)
+            assert [sorted(g) for g in got] == want
+
+    def test_empty_region(self):
+        positions = make_dataset("uniform", 100, seed=4)
+        monitor = RangeMonitor([CircleRegion(0.5, 0.5, 0.0)])
+        answers = monitor.tick(positions)
+        assert answers == [[]]
+
+    def test_whole_region(self):
+        positions = make_dataset("uniform", 100, seed=5)
+        monitor = RangeMonitor([RectRegion(0.0, 0.0, 1.0, 1.0)])
+        assert sorted(monitor.tick(positions)[0]) == list(range(100))
+
+    def test_region_beyond_unit_square_clamped(self):
+        positions = make_dataset("uniform", 100, seed=6)
+        monitor = RangeMonitor([RectRegion(-1.0, -1.0, 2.0, 2.0)])
+        assert sorted(monitor.tick(positions)[0]) == list(range(100))
+
+    def test_custom_grid_size(self):
+        positions = make_dataset("uniform", 300, seed=7)
+        regions = [CircleRegion(0.3, 0.3, 0.2)]
+        coarse = RangeMonitor(regions, ncells=4).tick(positions)
+        fine = RangeMonitor(regions, ncells=128).tick(positions)
+        assert sorted(coarse[0]) == sorted(fine[0])

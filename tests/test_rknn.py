@@ -1,0 +1,96 @@
+"""Tests for continuous reverse k-NN monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rknn import RKNNMonitor, brute_force_rknn
+from repro.errors import ConfigurationError
+from repro.motion import RandomWalkModel, make_dataset, make_queries
+
+
+class TestBruteForce:
+    def test_small_example(self):
+        # Three collinear objects; the query sits next to the left one.
+        positions = np.asarray([[0.1, 0.5], [0.5, 0.5], [0.9, 0.5]])
+        queries = np.asarray([[0.12, 0.5]])
+        # k=1: each object's nearest other object distance is 0.4.
+        # dist to query: 0.02, 0.38, 0.78 -> objects 0 and 1 qualify.
+        answers = brute_force_rknn(positions, queries, 1)
+        assert answers == [[0, 1]]
+
+    def test_requires_enough_objects(self):
+        with pytest.raises(ConfigurationError):
+            brute_force_rknn(np.asarray([[0.5, 0.5]]), np.asarray([[0.1, 0.1]]), 1)
+
+
+class TestRKNNMonitor:
+    @pytest.mark.parametrize("dataset", ["uniform", "skewed"])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_brute(self, dataset, k):
+        positions = make_dataset(dataset, 400, seed=1)
+        queries = make_queries(8, seed=2)
+        monitor = RKNNMonitor(k, queries)
+        got = monitor.tick(positions)
+        want = brute_force_rknn(positions, queries, k)
+        assert [sorted(g) for g in got] == [sorted(w) for w in want]
+
+    def test_stays_exact_over_cycles(self):
+        positions = make_dataset("uniform", 300, seed=3)
+        queries = make_queries(5, seed=4)
+        monitor = RKNNMonitor(2, queries)
+        motion = RandomWalkModel(vmax=0.01, seed=5)
+        for _ in range(4):
+            positions = motion.step(positions)
+            got = monitor.tick(positions)
+            want = brute_force_rknn(positions, queries, 2)
+            assert [sorted(g) for g in got] == [sorted(w) for w in want]
+
+    def test_overhaul_mode(self):
+        positions = make_dataset("uniform", 200, seed=6)
+        queries = make_queries(4, seed=7)
+        incremental = RKNNMonitor(2, queries, incremental=True)
+        overhaul = RKNNMonitor(2, queries, incremental=False)
+        motion = RandomWalkModel(vmax=0.01, seed=8)
+        for _ in range(3):
+            positions = motion.step(positions)
+            a = incremental.tick(positions)
+            b = overhaul.tick(positions)
+            assert [sorted(x) for x in a] == [sorted(x) for x in b]
+
+    def test_moving_queries(self):
+        positions = make_dataset("uniform", 250, seed=9)
+        queries = make_queries(5, seed=10)
+        monitor = RKNNMonitor(2, queries)
+        monitor.tick(positions)
+        query_motion = RandomWalkModel(vmax=0.05, seed=11)
+        queries = query_motion.step(queries)
+        monitor.set_queries(queries)
+        got = monitor.tick(positions)
+        want = brute_force_rknn(positions, queries, 2)
+        assert [sorted(g) for g in got] == [sorted(w) for w in want]
+
+    def test_query_shape_change_rejected(self):
+        monitor = RKNNMonitor(2, make_queries(5, seed=12))
+        with pytest.raises(ConfigurationError):
+            monitor.set_queries(make_queries(3, seed=13))
+
+    def test_bad_query_shape(self):
+        with pytest.raises(ConfigurationError):
+            RKNNMonitor(2, np.zeros((3, 3)))
+
+    def test_answer_can_be_empty(self):
+        # A query far from a tight cluster is nobody's near neighbor.
+        cluster = 0.45 + 0.02 * np.random.default_rng(14).random((50, 2))
+        queries = np.asarray([[0.02, 0.02]])
+        monitor = RKNNMonitor(1, queries)
+        assert monitor.tick(cluster) == [[]]
+
+    def test_kth_distances_exposed(self):
+        positions = make_dataset("uniform", 100, seed=15)
+        monitor = RKNNMonitor(2, make_queries(3, seed=16))
+        monitor.tick(positions)
+        dk = monitor.kth_distances()
+        assert len(dk) == 100
+        assert all(d >= 0.0 for d in dk)

@@ -1,0 +1,170 @@
+"""Tests for the road-network substrate (Illinois-data substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion.datasets import skewness_statistic, uniform_dataset, skewed_dataset
+from repro.roadnet.generator import synthetic_road_network
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.simulator import RoadNetworkModel, roadnet_dataset
+
+
+class TestRoadNetwork:
+    def test_bad_positions(self):
+        with pytest.raises(ConfigurationError):
+            RoadNetwork(np.zeros((3, 3)), edges=())
+
+    def test_add_edge_and_degree(self):
+        network = RoadNetwork(np.asarray([[0.1, 0.1], [0.9, 0.9], [0.5, 0.1]]), [(0, 1)])
+        network.add_edge(1, 2)
+        assert network.n_edges == 2
+        assert network.degree(1) == 2
+        assert network.degree(0) == 1
+
+    def test_duplicate_edge_ignored(self):
+        network = RoadNetwork(np.asarray([[0.0, 0.0], [1.0, 0.0]]), [(0, 1), (1, 0)])
+        assert network.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        network = RoadNetwork(np.asarray([[0.0, 0.0]]), ())
+        with pytest.raises(ConfigurationError):
+            network.add_edge(0, 0)
+
+    def test_unknown_node_rejected(self):
+        network = RoadNetwork(np.asarray([[0.0, 0.0]]), ())
+        with pytest.raises(ConfigurationError):
+            network.add_edge(0, 5)
+
+    def test_edge_length(self):
+        network = RoadNetwork(np.asarray([[0.0, 0.0], [0.3, 0.4]]), [(0, 1)])
+        assert network.edge_length(0, 1) == pytest.approx(0.5)
+
+    def test_point_on_edge(self):
+        network = RoadNetwork(np.asarray([[0.0, 0.0], [1.0, 0.0]]), [(0, 1)])
+        assert network.point_on_edge(0, 1, 0.25) == (0.25, 0.0)
+
+    def test_connectivity_detection(self):
+        positions = np.asarray([[0.0, 0.0], [1.0, 0.0], [0.5, 0.5]])
+        connected = RoadNetwork(positions, [(0, 1), (1, 2)])
+        disconnected = RoadNetwork(positions, [(0, 1)])
+        assert connected.is_connected()
+        assert not disconnected.is_connected()
+
+    def test_major_intersections(self):
+        positions = np.asarray([[0.1 * i, 0.1] for i in range(5)])
+        network = RoadNetwork(positions, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        major = network.major_intersections(2)
+        assert list(major) == [0, 1]
+
+
+class TestGenerator:
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_road_network(grid_size=1)
+        with pytest.raises(ConfigurationError):
+            synthetic_road_network(jitter=0.5)
+        with pytest.raises(ConfigurationError):
+            synthetic_road_network(keep_probability=0.0)
+
+    def test_node_count(self):
+        network = synthetic_road_network(grid_size=10, seed=1)
+        assert network.n_nodes == 100
+
+    def test_always_connected(self):
+        for seed in range(5):
+            network = synthetic_road_network(
+                grid_size=8, keep_probability=0.6, seed=seed
+            )
+            assert network.is_connected()
+
+    def test_nodes_in_unit_square(self):
+        network = synthetic_road_network(seed=2)
+        assert np.all(network.node_positions >= 0.0)
+        assert np.all(network.node_positions < 1.0)
+
+    def test_degrees_reasonable(self):
+        network = synthetic_road_network(grid_size=15, seed=3)
+        degrees = network.degrees()
+        assert degrees.max() <= 8
+        assert float(np.mean(degrees)) > 2.0
+
+    def test_seeded_reproducible(self):
+        a = synthetic_road_network(seed=4)
+        b = synthetic_road_network(seed=4)
+        np.testing.assert_array_equal(a.node_positions, b.node_positions)
+        assert a.edges() == b.edges()
+
+
+class TestSimulator:
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            RoadNetworkModel(-1)
+        with pytest.raises(ConfigurationError):
+            RoadNetworkModel(10, vmax=0.0)
+        with pytest.raises(ConfigurationError):
+            RoadNetworkModel(10, start_near_major=2.0)
+
+    def test_positions_shape(self):
+        model = RoadNetworkModel(200, seed=1)
+        assert model.positions().shape == (200, 2)
+
+    def test_positions_in_region(self):
+        model = RoadNetworkModel(500, seed=2)
+        for _ in range(10):
+            snapshot = model.step()
+            assert np.all(snapshot >= 0.0)
+            assert np.all(snapshot <= 1.0)
+
+    def test_objects_on_roads(self):
+        # Every object position must lie on some edge segment.
+        model = RoadNetworkModel(100, seed=3)
+        for _ in range(3):
+            model.step()
+        network = model.network
+        snapshot = model.positions()
+        for object_id in range(100):
+            u = model._from[object_id]
+            v = model._to[object_id]
+            ax, ay = network.node_positions[u]
+            bx, by = network.node_positions[v]
+            px, py = snapshot[object_id]
+            # Collinearity + betweenness.
+            cross = (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+            assert abs(cross) < 1e-9
+            t_num = (px - ax) * (bx - ax) + (py - ay) * (by - ay)
+            t_den = (bx - ax) ** 2 + (by - ay) ** 2
+            t = t_num / t_den
+            assert -1e-9 <= t <= 1.0 + 1e-9
+
+    def test_objects_actually_move(self):
+        model = RoadNetworkModel(50, vmax=0.02, seed=4)
+        before = model.positions()
+        after = model.step()
+        moved = np.linalg.norm(after - before, axis=1)
+        assert np.all(moved > 0.0)
+        # Travel per cycle is bounded by vmax (along roads).
+        assert np.all(moved <= 0.02 * np.sqrt(2) + 1e-9)
+
+    def test_run_generator(self):
+        model = RoadNetworkModel(20, seed=5)
+        snaps = list(model.run(cycles=4))
+        assert len(snaps) == 4
+
+
+class TestRoadnetDataset:
+    def test_shape_and_region(self):
+        points = roadnet_dataset(300, warmup_cycles=10, seed=6)
+        assert points.shape == (300, 2)
+        assert np.all((points >= 0.0) & (points <= 1.0))
+
+    def test_skew_between_uniform_and_clusters(self):
+        # The paper's Fig. 17 narrative: "more skewed than the uniform
+        # data, but less skewed than the synthetic skewed data".
+        n = 4000
+        road = skewness_statistic(roadnet_dataset(n, warmup_cycles=30, seed=7))
+        uniform = skewness_statistic(uniform_dataset(n, seed=7))
+        clustered = skewness_statistic(skewed_dataset(n, seed=7))
+        assert uniform < road < clustered

@@ -1,0 +1,254 @@
+"""Unit and integration tests for the main-memory R-tree baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from repro.motion import RandomWalkModel, make_dataset
+from repro.rtree import RTree
+from tests.conftest import assert_same_distances
+
+
+def inserted_tree(points, **kwargs):
+    tree = RTree(**kwargs)
+    for object_id, (x, y) in enumerate(points):
+        tree.insert(object_id, x, y)
+    return tree
+
+
+class TestConstruction:
+    def test_bad_max_entries(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=2)
+
+    def test_bad_min_entries(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=10, min_entries=8)
+
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+
+class TestInsert:
+    def test_single(self):
+        tree = RTree()
+        tree.insert(0, 0.5, 0.5)
+        assert len(tree) == 1
+        assert tree.position_of(0) == (0.5, 0.5)
+        tree.validate()
+
+    def test_duplicate_id_rejected(self):
+        tree = RTree()
+        tree.insert(0, 0.5, 0.5)
+        with pytest.raises(IndexStateError):
+            tree.insert(0, 0.6, 0.6)
+
+    def test_many_inserts_split(self, uniform_1k):
+        tree = inserted_tree(uniform_1k, max_entries=8)
+        assert len(tree) == 1000
+        assert tree.height > 1
+        tree.validate()
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(max_entries=4)
+        for object_id in range(30):
+            tree.insert(object_id, 0.5, 0.5)
+        assert len(tree) == 30
+        tree.validate()
+
+
+class TestDelete:
+    def test_delete_missing(self):
+        tree = RTree()
+        with pytest.raises(IndexStateError):
+            tree.delete(3)
+
+    def test_delete_all(self, uniform_1k):
+        tree = inserted_tree(uniform_1k[:200], max_entries=8)
+        for object_id in range(200):
+            tree.delete(object_id)
+            if object_id % 50 == 0:
+                tree.validate()
+        assert len(tree) == 0
+
+    def test_delete_then_query(self, uniform_1k):
+        tree = inserted_tree(uniform_1k, max_entries=16)
+        for object_id in range(0, 1000, 3):
+            tree.delete(object_id)
+        tree.validate()
+        remaining = np.asarray(
+            [uniform_1k[i] for i in range(1000) if i % 3 != 0]
+        )
+        remaining_ids = [i for i in range(1000) if i % 3 != 0]
+        got = tree.knn(0.5, 0.5, 10)
+        want = brute_force_knn(remaining, 0.5, 0.5, 10)
+        got_d = [d for _, d in got.neighbors()]
+        want_d = [d for _, d in want]
+        np.testing.assert_allclose(got_d, want_d, atol=1e-12)
+        # IDs must refer to surviving objects.
+        assert all(object_id in set(remaining_ids) for object_id in got.object_ids())
+
+
+class TestBulkLoad:
+    def test_matches_population(self, uniform_1k):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(uniform_1k)
+        assert len(tree) == 1000
+        tree.validate()
+
+    def test_empty(self):
+        tree = RTree()
+        tree.bulk_load(np.empty((0, 2)))
+        assert len(tree) == 0
+
+    def test_single(self):
+        tree = RTree()
+        tree.bulk_load(np.asarray([[0.3, 0.7]]))
+        assert len(tree) == 1
+        assert tree.knn(0.0, 0.0, 1).object_ids() == [0]
+
+    def test_replaces_previous_content(self, uniform_1k):
+        tree = RTree()
+        tree.bulk_load(uniform_1k)
+        tree.bulk_load(uniform_1k[:10])
+        assert len(tree) == 10
+        tree.validate()
+
+    def test_str_is_balanced_and_packed(self, uniform_1k):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(uniform_1k)
+        # STR packs leaves nearly full: height should be minimal.
+        # 1000/16 = 63 leaves, 63/16 = 4 nodes, 1 root -> height 3.
+        assert tree.height == 3
+
+
+class TestKnn:
+    @pytest.mark.parametrize("loader", ["insert", "bulk"])
+    @pytest.mark.parametrize("k", [1, 7, 20])
+    def test_matches_brute(self, uniform_1k, loader, k):
+        if loader == "insert":
+            tree = inserted_tree(uniform_1k, max_entries=12)
+        else:
+            tree = RTree(max_entries=12)
+            tree.bulk_load(uniform_1k)
+        for qx, qy in [(0.5, 0.5), (0.01, 0.99), (0.73, 0.22)]:
+            got = tree.knn(qx, qy, k).neighbors()
+            want = brute_force_knn(uniform_1k, qx, qy, k)
+            assert_same_distances(got, want)
+
+    def test_skewed_data(self, hi_skewed_1k):
+        tree = RTree()
+        tree.bulk_load(hi_skewed_1k)
+        got = tree.knn(0.5, 0.5, 15).neighbors()
+        want = brute_force_knn(hi_skewed_1k, 0.5, 0.5, 15)
+        assert_same_distances(got, want)
+
+    def test_k_too_large(self, uniform_1k):
+        tree = RTree()
+        tree.bulk_load(uniform_1k[:5])
+        with pytest.raises(NotEnoughObjectsError):
+            tree.knn(0.5, 0.5, 6)
+
+    def test_query_outside(self, uniform_1k):
+        tree = RTree()
+        tree.bulk_load(uniform_1k)
+        got = tree.knn(-0.5, 1.5, 5).neighbors()
+        want = brute_force_knn(uniform_1k, -0.5, 1.5, 5)
+        assert_same_distances(got, want)
+
+
+class TestBottomUpUpdate:
+    def test_in_place_path(self, uniform_1k):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(uniform_1k)
+        # A tiny displacement almost always stays inside the leaf MBR.
+        paths = set()
+        for object_id in range(100):
+            x, y = tree.position_of(object_id)
+            nx = min(max(x + 1e-9, 0.0), 1.0)
+            paths.add(tree.update_bottom_up(object_id, nx, y))
+        assert "in_place" in paths
+        tree.validate()
+
+    def test_update_missing(self):
+        tree = RTree()
+        with pytest.raises(IndexStateError):
+            tree.update_bottom_up(0, 0.5, 0.5)
+
+    def test_far_jump_full_path(self, uniform_1k):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(uniform_1k)
+        path = tree.update_bottom_up(0, 1.0 - 1e-6, 1.0 - 1e-6)
+        # A cross-region jump cannot stay in place.
+        assert path in ("local", "full")
+        assert tree.position_of(0) == (1.0 - 1e-6, 1.0 - 1e-6)
+        tree.validate()
+
+    def test_updates_preserve_exactness(self, uniform_1k):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(uniform_1k)
+        motion = RandomWalkModel(vmax=0.02, seed=21)
+        current = uniform_1k
+        for _ in range(5):
+            current = motion.step(current)
+            for object_id in range(len(current)):
+                tree.update_bottom_up(
+                    object_id, current[object_id, 0], current[object_id, 1]
+                )
+            tree.validate()
+        got = tree.knn(0.5, 0.5, 10).neighbors()
+        want = brute_force_knn(current, 0.5, 0.5, 10)
+        assert_same_distances(got, want)
+
+    def test_paths_distribution(self, uniform_1k):
+        tree = RTree(max_entries=16)
+        tree.bulk_load(uniform_1k)
+        motion = RandomWalkModel(vmax=0.005, seed=22)
+        current = motion.step(uniform_1k)
+        paths = [
+            tree.update_bottom_up(i, current[i, 0], current[i, 1])
+            for i in range(len(current))
+        ]
+        # With a small vmax most updates stay in place (the Lee et al.
+        # motivation); some escape locally.
+        assert paths.count("in_place") > len(paths) * 0.5
+
+
+class TestMixedWorkload:
+    def test_interleaved_ops(self, rng):
+        tree = RTree(max_entries=8)
+        points = {}
+        next_id = 0
+        for round_number in range(300):
+            op = rng.random()
+            if op < 0.5 or not points:
+                x, y = rng.random(), rng.random()
+                tree.insert(next_id, x, y)
+                points[next_id] = (x, y)
+                next_id += 1
+            elif op < 0.75:
+                victim = int(rng.choice(list(points)))
+                tree.delete(victim)
+                del points[victim]
+            else:
+                mover = int(rng.choice(list(points)))
+                x, y = rng.random(), rng.random()
+                tree.update_bottom_up(mover, x, y)
+                points[mover] = (x, y)
+            if round_number % 60 == 0:
+                tree.validate()
+        tree.validate()
+        assert len(tree) == len(points)
+        if len(points) >= 5:
+            positions = np.asarray(list(points.values()))
+            ids = list(points)
+            got = tree.knn(0.5, 0.5, 5)
+            want = brute_force_knn(positions, 0.5, 0.5, 5)
+            got_d = [d for _, d in got.neighbors()]
+            want_d = [d for _, d in want]
+            np.testing.assert_allclose(got_d, want_d, atol=1e-12)

@@ -1,0 +1,161 @@
+"""Tests for the k-NN self-join (continuous spatial join extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.object_index import ObjectIndex
+from repro.core.self_join import (
+    SelfJoinMonitor,
+    knn_self_join,
+    knn_self_join_incremental,
+)
+from repro.errors import ConfigurationError, NotEnoughObjectsError
+from repro.motion import RandomWalkModel, make_dataset
+
+
+def brute_self_join(positions, k):
+    """Ground truth: each object's k nearest other objects."""
+    out = []
+    for object_id in range(len(positions)):
+        neighbors = brute_force_knn(
+            positions, positions[object_id, 0], positions[object_id, 1], k + 1
+        )
+        out.append([i for i, _ in neighbors if i != object_id][:k])
+    return out
+
+
+class TestOverhaulJoin:
+    def test_matches_brute(self):
+        points = make_dataset("skewed", 300, seed=1)
+        index = ObjectIndex(n_objects=300)
+        index.build(points)
+        got = knn_self_join(index, 4)
+        want = brute_self_join(points, 4)
+        for object_id, (answer, expected) in enumerate(zip(got, want)):
+            got_d = [d for _, d in answer.neighbors()]
+            want_d = sorted(
+                float(np.hypot(*(points[e] - points[object_id]))) for e in expected
+            )
+            np.testing.assert_allclose(got_d, want_d, atol=1e-12)
+
+    def test_distances_match_brute(self):
+        points = make_dataset("uniform", 200, seed=2)
+        index = ObjectIndex(n_objects=200)
+        index.build(points)
+        got = knn_self_join(index, 3)
+        for object_id, answer in enumerate(got):
+            want = brute_force_knn(
+                points, points[object_id, 0], points[object_id, 1], 4
+            )
+            want_d = [d for i, d in want if i != object_id][:3]
+            got_d = [d for _, d in answer.neighbors()]
+            np.testing.assert_allclose(got_d, want_d, atol=1e-12)
+
+    def test_never_contains_self(self):
+        points = make_dataset("hi_skewed", 150, seed=3)
+        index = ObjectIndex(n_objects=150)
+        index.build(points)
+        for object_id, answer in enumerate(knn_self_join(index, 5)):
+            assert object_id not in answer.object_ids()
+
+    def test_duplicate_points(self):
+        points = np.full((10, 2), 0.5)
+        index = ObjectIndex(ncells=3)
+        index.build(points)
+        answers = knn_self_join(index, 3)
+        for object_id, answer in enumerate(answers):
+            assert len(answer) == 3
+            assert object_id not in answer.object_ids()
+            assert answer.kth_dist() == 0.0
+
+    def test_too_few_objects(self):
+        index = ObjectIndex(ncells=2)
+        index.build(np.asarray([[0.1, 0.1], [0.2, 0.2]]))
+        with pytest.raises(NotEnoughObjectsError):
+            knn_self_join(index, 2)
+
+    def test_bad_k(self):
+        index = ObjectIndex(ncells=2)
+        index.build(np.asarray([[0.1, 0.1], [0.2, 0.2]]))
+        with pytest.raises(ConfigurationError):
+            knn_self_join(index, 0)
+
+
+class TestIncrementalJoin:
+    def test_matches_overhaul_after_motion(self):
+        points = make_dataset("uniform", 250, seed=4)
+        index = ObjectIndex(n_objects=250)
+        index.build(points)
+        previous = [a.object_ids() for a in knn_self_join(index, 3)]
+        motion = RandomWalkModel(vmax=0.01, seed=5)
+        moved = motion.step(points)
+        index.build(moved)
+        incremental = knn_self_join_incremental(index, 3, previous)
+        overhaul = knn_self_join(index, 3)
+        for a, b in zip(incremental, overhaul):
+            got = [round(d, 12) for _, d in a.neighbors()]
+            want = [round(d, 12) for _, d in b.neighbors()]
+            assert got == want
+
+    def test_wrong_previous_length(self):
+        points = make_dataset("uniform", 50, seed=6)
+        index = ObjectIndex(n_objects=50)
+        index.build(points)
+        with pytest.raises(ConfigurationError):
+            knn_self_join_incremental(index, 3, [[]] * 10)
+
+    def test_stale_entries_fall_back(self):
+        points = make_dataset("uniform", 60, seed=7)
+        index = ObjectIndex(n_objects=60)
+        index.build(points)
+        stale = [[999, 998, 997]] * 60
+        answers = knn_self_join_incremental(index, 3, stale)
+        want = knn_self_join(index, 3)
+        for a, b in zip(answers, want):
+            assert [round(d, 12) for _, d in a.neighbors()] == [
+                round(d, 12) for _, d in b.neighbors()
+            ]
+
+
+class TestSelfJoinMonitor:
+    def test_cycles_stay_exact(self):
+        points = make_dataset("skewed", 200, seed=8)
+        monitor = SelfJoinMonitor(3)
+        motion = RandomWalkModel(vmax=0.01, seed=9)
+        current = points
+        for _ in range(4):
+            current = motion.step(current)
+            answers = monitor.tick(current)
+            want = brute_self_join(current, 3)
+            for object_id, answer in enumerate(answers):
+                got_d = [d for _, d in answer.neighbors()]
+                want_d = [
+                    float(np.hypot(*(current[w] - current[object_id])))
+                    for w in want[object_id]
+                ]
+                np.testing.assert_allclose(got_d, sorted(want_d), atol=1e-12)
+
+    def test_kth_distances(self):
+        points = make_dataset("uniform", 100, seed=10)
+        monitor = SelfJoinMonitor(2)
+        answers = monitor.tick(points)
+        dk = monitor.kth_distances()
+        for answer, d in zip(answers, dk):
+            assert d == pytest.approx(answer.kth_dist())
+
+    def test_kth_before_tick(self):
+        with pytest.raises(ConfigurationError):
+            SelfJoinMonitor(2).kth_distances()
+
+    def test_population_change_resets(self):
+        monitor = SelfJoinMonitor(2)
+        monitor.tick(make_dataset("uniform", 100, seed=11))
+        answers = monitor.tick(make_dataset("uniform", 50, seed=12))
+        assert len(answers) == 50
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            SelfJoinMonitor(0)

@@ -1,0 +1,138 @@
+"""Hypothesis stateful machines: interleaved-operation fuzzing.
+
+These machines drive the mutable index structures through arbitrary
+interleavings of inserts, deletes, moves, and queries, checking the
+structural invariants and brute-force exactness after every step.  They
+catch ordering bugs (e.g. a collapse after the wrong removal) that
+fixed-scenario tests cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.brute import brute_force_knn
+from repro.core.hierarchical import HierarchicalObjectIndex
+from repro.rtree import RTree
+from tests.conftest import assert_same_distances
+
+coordinate = st.floats(
+    min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False, width=64
+)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    """Insert / delete / move / query an R-tree against a dict model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tree = RTree(max_entries=4)
+        self.model: dict[int, tuple[float, float]] = {}
+        self.next_id = 0
+
+    @rule(x=coordinate, y=coordinate)
+    def insert(self, x: float, y: float) -> None:
+        self.tree.insert(self.next_id, x, y)
+        self.model[self.next_id] = (x, y)
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data) -> None:
+        victim = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.delete(victim)
+        del self.model[victim]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), x=coordinate, y=coordinate)
+    def move_bottom_up(self, data, x: float, y: float) -> None:
+        mover = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.update_bottom_up(mover, x, y)
+        self.model[mover] = (x, y)
+
+    @precondition(lambda self: self.model)
+    @rule(qx=coordinate, qy=coordinate, data=st.data())
+    def query(self, qx: float, qy: float, data) -> None:
+        k = data.draw(st.integers(min_value=1, max_value=len(self.model)))
+        ids = sorted(self.model)
+        positions = np.asarray([self.model[i] for i in ids])
+        got = self.tree.knn(qx, qy, k).neighbors()
+        want_rows = brute_force_knn(positions, qx, qy, k)
+        want = [(ids[row], d) for row, d in want_rows]
+        assert_same_distances(got, want)
+
+    @invariant()
+    def structure_holds(self) -> None:
+        self.tree.validate()
+        assert len(self.tree) == len(self.model)
+
+
+class HierarchicalMachine(RuleBasedStateMachine):
+    """Rebuild / update / query the hierarchical index against a model.
+
+    The hierarchical index works on fixed-size snapshots, so the machine
+    mutates a position array and alternates full rebuilds with
+    incremental updates.
+    """
+
+    @initialize(
+        points=st.lists(
+            st.tuples(coordinate, coordinate), min_size=3, max_size=25
+        )
+    )
+    def setup(self, points) -> None:
+        self.positions = np.asarray(points, dtype=np.float64)
+        self.index = HierarchicalObjectIndex(
+            delta0=0.25, max_cell_load=3, split_factor=2, max_depth=8
+        )
+        self.index.build(self.positions)
+
+    @rule(data=st.data(), x=coordinate, y=coordinate)
+    def move_one_incremental(self, data, x: float, y: float) -> None:
+        row = data.draw(st.integers(min_value=0, max_value=len(self.positions) - 1))
+        self.positions = self.positions.copy()
+        self.positions[row] = (x, y)
+        self.index.update(self.positions)
+
+    @rule(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def jiggle_all_incremental(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        moved = self.positions + rng.uniform(-0.3, 0.3, self.positions.shape)
+        self.positions = np.clip(moved, 0.0, 1.0 - 1e-9)
+        self.index.update(self.positions)
+
+    @rule()
+    def rebuild(self) -> None:
+        self.index.build(self.positions)
+
+    @rule(qx=coordinate, qy=coordinate, data=st.data())
+    def query(self, qx: float, qy: float, data) -> None:
+        k = data.draw(st.integers(min_value=1, max_value=len(self.positions)))
+        got = self.index.knn_overhaul(qx, qy, k).neighbors()
+        want = brute_force_knn(self.positions, qx, qy, k)
+        assert_same_distances(got, want)
+
+    @invariant()
+    def structure_holds(self) -> None:
+        if getattr(self, "index", None) is not None:
+            self.index.validate()
+
+
+TestRTreeStateful = RTreeMachine.TestCase
+TestRTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestHierarchicalStateful = HierarchicalMachine.TestCase
+TestHierarchicalStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

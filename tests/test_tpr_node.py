@@ -1,0 +1,80 @@
+"""Unit tests for the time-parameterized MBR arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tprtree.node import TPRNode
+
+
+def node_with(entries):
+    node = TPRNode(leaf=True)
+    for x0, y0, vx, vy in entries:
+        node.include_entry(x0, y0, vx, vy)
+    return node
+
+
+class TestBoundsAt:
+    def test_static_entries(self):
+        node = node_with([(0.1, 0.2, 0.0, 0.0), (0.5, 0.8, 0.0, 0.0)])
+        assert node.bounds_at(0.0) == (0.1, 0.2, 0.5, 0.8)
+        assert node.bounds_at(100.0) == (0.1, 0.2, 0.5, 0.8)
+
+    def test_moving_bounds_expand(self):
+        node = node_with([(0.5, 0.5, -0.01, 0.0), (0.5, 0.5, 0.02, 0.0)])
+        xlo, ylo, xhi, yhi = node.bounds_at(10.0)
+        assert xlo == pytest.approx(0.4)
+        assert xhi == pytest.approx(0.7)
+        assert (ylo, yhi) == (0.5, 0.5)
+
+    def test_never_inverts_for_future_times(self):
+        rng = np.random.default_rng(1)
+        node = node_with(rng.uniform(-1, 1, (20, 4)).tolist())
+        for t in (0.0, 0.5, 3.0, 50.0):
+            xlo, ylo, xhi, yhi = node.bounds_at(t)
+            assert xlo <= xhi
+            assert ylo <= yhi
+
+    def test_contains_entries_forever(self):
+        rng = np.random.default_rng(2)
+        entries = rng.uniform(-0.5, 0.5, (15, 4)).tolist()
+        node = node_with(entries)
+        for t in (0.0, 1.0, 7.5, 30.0):
+            for x0, y0, vx, vy in entries:
+                assert node.contains_entry_at(x0, y0, vx, vy, t)
+
+
+class TestIntegratedArea:
+    def test_matches_numeric_integration(self):
+        rng = np.random.default_rng(3)
+        node = node_with(rng.uniform(-0.3, 0.3, (10, 4)).tolist())
+        t0, t1 = 1.0, 6.0
+        ts = np.linspace(t0, t1, 20001)
+        numeric = float(np.trapezoid([node.area_at(t) for t in ts], ts))
+        assert node.integrated_area(t0, t1) == pytest.approx(numeric, rel=1e-6)
+
+    def test_degenerate_interval(self):
+        node = node_with([(0.0, 0.0, 0.1, 0.1), (0.2, 0.3, -0.1, 0.0)])
+        assert node.integrated_area(2.0, 2.0) == node.area_at(2.0)
+
+    def test_growing_box_has_growing_integral(self):
+        node = node_with([(0.5, 0.5, -0.1, -0.1), (0.5, 0.5, 0.1, 0.1)])
+        early = node.integrated_area(0.0, 1.0)
+        late = node.integrated_area(5.0, 6.0)
+        assert late > early
+
+
+class TestMinDist:
+    def test_inside_is_zero(self):
+        node = node_with([(0.0, 0.0, 0.0, 0.0), (1.0, 1.0, 0.0, 0.0)])
+        assert node.min_dist2_at(0.5, 0.5, 0.0) == 0.0
+
+    def test_moving_box_approaches_point(self):
+        # Box starts at [0, 0.1]^2 and moves +0.1/cycle toward (0.9, 0.05).
+        node = node_with([(0.0, 0.0, 0.1, 0.0), (0.1, 0.1, 0.1, 0.0)])
+        d_now = node.min_dist2_at(0.9, 0.05, 0.0)
+        d_later = node.min_dist2_at(0.9, 0.05, 5.0)
+        assert d_later < d_now
+        # At t=8 the box spans x in [0.8, 0.9] and reaches the point.
+        assert node.min_dist2_at(0.9, 0.05, 8.0) == pytest.approx(0.0)

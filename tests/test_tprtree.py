@@ -1,0 +1,207 @@
+"""Tests for the TPR-tree and its predictive monitoring engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute import brute_force_knn
+from repro.core.monitor import MonitoringSystem
+from repro.errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from repro.motion import LinearMotionModel, make_dataset, make_queries
+from repro.tprtree import TPREngine, TPRTree
+from tests.conftest import assert_same_distances
+
+
+def loaded_tree(n=300, seed=1, vmax=0.01, max_entries=8):
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, 2))
+    velocities = rng.uniform(-vmax, vmax, (n, 2))
+    tree = TPRTree(max_entries=max_entries)
+    for object_id in range(n):
+        tree.insert(
+            object_id,
+            positions[object_id, 0],
+            positions[object_id, 1],
+            velocities[object_id, 0],
+            velocities[object_id, 1],
+            now=0.0,
+        )
+    return tree, positions, velocities
+
+
+class TestConstruction:
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            TPRTree(horizon=0.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TPRTree(max_entries=2)
+
+    def test_empty(self):
+        tree = TPRTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+
+class TestInsertAndQuery:
+    def test_duplicate_id_rejected(self):
+        tree = TPRTree()
+        tree.insert(0, 0.5, 0.5, 0.0, 0.0, 0.0)
+        with pytest.raises(IndexStateError):
+            tree.insert(0, 0.1, 0.1, 0.0, 0.0, 0.0)
+
+    def test_structure_valid_after_bulk_inserts(self):
+        tree, _, _ = loaded_tree()
+        tree.validate(0.0)
+        tree.validate(5.0)
+        assert tree.height > 1
+
+    @pytest.mark.parametrize("tq", [0.0, 1.0, 5.0, 10.0, 25.0])
+    def test_predictive_knn_matches_extrapolation(self, tq):
+        """k-NN at a future time equals brute force on the extrapolated
+        world — the TPR-tree's defining capability."""
+        tree, positions, velocities = loaded_tree()
+        future = positions + velocities * tq
+        got = tree.knn(0.5, 0.5, 10, tq).neighbors()
+        want = brute_force_knn(future, 0.5, 0.5, 10)
+        assert_same_distances(got, want, tol=1e-9)
+
+    def test_knn_various_query_points(self):
+        tree, positions, velocities = loaded_tree(seed=2)
+        future = positions + velocities * 3.0
+        for qx, qy in [(0.0, 0.0), (0.9, 0.1), (0.5, 0.99)]:
+            got = tree.knn(qx, qy, 5, 3.0).neighbors()
+            want = brute_force_knn(future, qx, qy, 5)
+            assert_same_distances(got, want, tol=1e-9)
+
+    def test_k_too_large(self):
+        tree = TPRTree()
+        tree.insert(0, 0.5, 0.5, 0.0, 0.0, 0.0)
+        with pytest.raises(NotEnoughObjectsError):
+            tree.knn(0.5, 0.5, 2, 0.0)
+
+    def test_position_at(self):
+        tree = TPRTree()
+        tree.insert(7, 0.5, 0.5, 0.01, -0.02, now=2.0)
+        x, y = tree.position_at(7, 2.0)
+        assert (x, y) == pytest.approx((0.5, 0.5))
+        x, y = tree.position_at(7, 4.0)
+        assert (x, y) == pytest.approx((0.52, 0.46))
+        assert tree.velocity_of(7) == pytest.approx((0.01, -0.02))
+
+
+class TestDeleteAndUpdate:
+    def test_delete_missing(self):
+        with pytest.raises(IndexStateError):
+            TPRTree().delete(3)
+
+    def test_delete_many(self):
+        tree, _, _ = loaded_tree(n=200)
+        for object_id in range(0, 200, 2):
+            tree.delete(object_id)
+        assert len(tree) == 100
+        tree.validate(0.0)
+        tree.validate(4.0)
+
+    def test_update_changes_trajectory(self):
+        tree, positions, velocities = loaded_tree(n=100, seed=3)
+        tree.update(0, 0.9, 0.9, 0.0, 0.0, now=5.0)
+        assert tree.position_at(0, 5.0) == pytest.approx((0.9, 0.9))
+        assert tree.position_at(0, 10.0) == pytest.approx((0.9, 0.9))
+        tree.validate(5.0)
+
+    def test_updates_keep_queries_exact(self):
+        tree, positions, velocities = loaded_tree(n=150, seed=4)
+        rng = np.random.default_rng(5)
+        now = 2.0
+        current = positions + velocities * now
+        new_velocities = rng.uniform(-0.01, 0.01, velocities.shape)
+        for object_id in range(150):
+            tree.update(
+                object_id,
+                current[object_id, 0],
+                current[object_id, 1],
+                new_velocities[object_id, 0],
+                new_velocities[object_id, 1],
+                now,
+            )
+        tree.validate(now)
+        future = current + new_velocities * 3.0
+        got = tree.knn(0.3, 0.7, 8, now + 3.0).neighbors()
+        want = brute_force_knn(future, 0.3, 0.7, 8)
+        assert_same_distances(got, want, tol=1e-9)
+
+
+class TestTPREngine:
+    def test_exact_under_linear_motion(self):
+        objects = make_dataset("uniform", 800, seed=6)
+        queries = make_queries(8, seed=7)
+        engine = TPREngine(5, queries)
+        system = MonitoringSystem(engine)
+        motion = LinearMotionModel(800, vmax=0.005, change_probability=0.0, seed=8)
+        current = objects
+        system.load(current)
+        for _ in range(4):
+            current = motion.step(current)
+            answers = system.tick(current)
+            for qa in answers:
+                qx, qy = queries[qa.query_id]
+                want = brute_force_knn(current, qx, qy, 5)
+                assert_same_distances(qa.neighbors, want, tol=1e-9)
+
+    def test_exact_under_free_motion(self):
+        from repro.motion import RandomWalkModel
+
+        objects = make_dataset("skewed", 600, seed=9)
+        queries = make_queries(6, seed=10)
+        system = MonitoringSystem(TPREngine(4, queries))
+        motion = RandomWalkModel(vmax=0.01, seed=11)
+        current = objects
+        system.load(current)
+        for _ in range(3):
+            current = motion.step(current)
+            answers = system.tick(current)
+            for qa in answers:
+                qx, qy = queries[qa.query_id]
+                want = brute_force_knn(current, qx, qy, 4)
+                assert_same_distances(qa.neighbors, want, tol=1e-9)
+
+    def test_degeneration_metric(self):
+        """Constant velocities -> few updates; per-cycle velocity changes
+        -> an update per object per cycle (the §5.4 degeneration)."""
+        objects = make_dataset("uniform", 400, seed=12)
+        queries = make_queries(3, seed=13)
+
+        def updates_for(change_probability):
+            engine = TPREngine(3, queries)
+            system = MonitoringSystem(engine)
+            motion = LinearMotionModel(
+                400, vmax=0.003, change_probability=change_probability, seed=14
+            )
+            current = objects.copy()
+            system.load(current)
+            counts = []
+            for _ in range(4):
+                current = motion.step(current)
+                system.tick(current)
+                counts.append(engine.last_update_count)
+            # Skip the first post-load cycle (velocity bootstrap).
+            return counts[1:]
+
+        stable = updates_for(0.0)
+        volatile = updates_for(1.0)
+        assert max(stable) < 400 * 0.15
+        assert all(count == 400 for count in volatile)
+
+    def test_population_change_reloads(self):
+        queries = make_queries(3, seed=15)
+        system = MonitoringSystem(TPREngine(2, queries))
+        system.load(make_dataset("uniform", 100, seed=16))
+        grown = make_dataset("uniform", 150, seed=17)
+        answers = system.tick(grown)
+        for qa in answers:
+            qx, qy = queries[qa.query_id]
+            want = brute_force_knn(grown, qx, qy, 2)
+            assert_same_distances(qa.neighbors, want, tol=1e-9)

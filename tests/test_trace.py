@@ -1,0 +1,108 @@
+"""Tests for motion trace recording and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import MonitoringSystem
+from repro.errors import ConfigurationError
+from repro.motion import (
+    MotionTrace,
+    RandomWalkModel,
+    TraceReplay,
+    make_dataset,
+    make_queries,
+)
+
+
+class TestConstruction:
+    def test_needs_snapshots(self):
+        with pytest.raises(ConfigurationError):
+            MotionTrace([])
+
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            MotionTrace([np.zeros((3, 3))])
+        with pytest.raises(ConfigurationError):
+            MotionTrace([np.zeros((3, 2)), np.zeros((4, 2))])
+
+    def test_record_negative_cycles(self):
+        with pytest.raises(ConfigurationError):
+            MotionTrace.record(np.zeros((2, 2)), RandomWalkModel(seed=1), -1)
+
+
+class TestRecordReplay:
+    def test_record_lengths(self, uniform_1k):
+        trace = MotionTrace.record(uniform_1k, RandomWalkModel(seed=2), cycles=5)
+        assert len(trace) == 6
+        assert trace.cycles == 5
+        assert trace.n_objects == 1000
+
+    def test_record_matches_direct_simulation(self, uniform_1k):
+        motion_a = RandomWalkModel(vmax=0.01, seed=3)
+        trace = MotionTrace.record(uniform_1k, motion_a, cycles=4)
+        motion_b = RandomWalkModel(vmax=0.01, seed=3)
+        current = uniform_1k
+        for step in range(1, 5):
+            current = motion_b.step(current)
+            np.testing.assert_array_equal(trace[step], current)
+
+    def test_replay_sequence(self, uniform_1k):
+        trace = MotionTrace.record(uniform_1k, RandomWalkModel(seed=4), cycles=3)
+        replay = trace.replay()
+        np.testing.assert_array_equal(replay.initial(), uniform_1k)
+        seen = [replay.step() for _ in range(3)]
+        for step, snapshot in enumerate(seen, start=1):
+            np.testing.assert_array_equal(snapshot, trace[step])
+        assert replay.exhausted
+        with pytest.raises(ConfigurationError):
+            replay.step()
+
+    def test_rewind(self, uniform_1k):
+        trace = MotionTrace.record(uniform_1k, RandomWalkModel(seed=5), cycles=2)
+        replay = trace.replay()
+        first = replay.step()
+        replay.rewind()
+        np.testing.assert_array_equal(replay.step(), first)
+
+    def test_snapshots_are_isolated_copies(self, uniform_1k):
+        trace = MotionTrace.record(uniform_1k, RandomWalkModel(seed=6), cycles=1)
+        trace[0][0, 0] = 99.0  # mutate a returned array
+        # The stored copy changed (same object), but the original input
+        # array used by the caller was copied at record time.
+        assert uniform_1k[0, 0] != 99.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, uniform_1k, tmp_path):
+        trace = MotionTrace.record(uniform_1k, RandomWalkModel(seed=7), cycles=3)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = MotionTrace.load(path)
+        assert loaded.cycles == trace.cycles
+        for a, b in zip(trace, loaded):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFairComparison:
+    def test_two_methods_same_trace_same_answers(self):
+        objects = make_dataset("uniform", 600, seed=8)
+        queries = make_queries(5, seed=9)
+        trace = MotionTrace.record(objects, RandomWalkModel(seed=10), cycles=3)
+
+        def run(factory):
+            system = factory(4, queries)
+            replay = trace.replay()
+            system.load(replay.initial())
+            answers = None
+            while not replay.exhausted:
+                answers = system.tick(replay.step())
+            return answers
+
+        a = run(MonitoringSystem.object_indexing)
+        b = run(MonitoringSystem.hierarchical)
+        for qa, qb in zip(a, b):
+            assert [round(d, 12) for _, d in qa.neighbors] == [
+                round(d, 12) for _, d in qb.neighbors
+            ]

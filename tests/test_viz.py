@@ -1,0 +1,83 @@
+"""Tests for the ASCII density plot helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion import make_dataset
+from repro.viz import density_plot, side_by_side
+
+
+class TestDensityPlot:
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            density_plot(np.zeros((1, 2)), width=0)
+        with pytest.raises(ConfigurationError):
+            density_plot(np.zeros((1, 2)), ramp="x")
+
+    def test_dimensions_with_border(self):
+        plot = density_plot(make_dataset("uniform", 100, seed=1), width=20, height=10)
+        lines = plot.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 border lines
+        assert all(len(line) == 22 for line in lines)
+
+    def test_dimensions_without_border(self):
+        plot = density_plot(
+            make_dataset("uniform", 100, seed=1), width=20, height=10, border=False
+        )
+        lines = plot.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_empty_points(self):
+        plot = density_plot(np.empty((0, 2)), width=5, height=3, border=False)
+        assert plot == "\n".join([" " * 5] * 3)
+
+    def test_single_point_position(self):
+        # A point near (0, 0) must appear in the bottom-left corner
+        # (the y axis points up).
+        plot = density_plot(
+            np.asarray([[0.01, 0.01]]), width=10, height=5, border=False
+        )
+        lines = plot.splitlines()
+        assert lines[-1][0] != " "
+        assert all(c == " " for c in lines[0])
+
+    def test_dense_cell_darker_than_sparse(self):
+        ramp = " .#"
+        points = np.asarray([[0.05, 0.05]] * 10 + [[0.95, 0.95]])
+        plot = density_plot(points, width=10, height=10, ramp=ramp, border=False)
+        lines = plot.splitlines()
+        assert lines[-1][0] == "#"  # dense corner
+        assert lines[0][-1] == "."  # single point still visible
+
+    def test_skewed_data_uses_darker_chars(self):
+        uniform = density_plot(make_dataset("uniform", 2000, seed=2), border=False)
+        skewed = density_plot(make_dataset("hi_skewed", 2000, seed=2), border=False)
+        # Highly skewed data leaves far more empty space.
+        assert skewed.count(" ") > uniform.count(" ")
+
+
+class TestSideBySide:
+    def test_empty(self):
+        assert side_by_side([]) == ""
+
+    def test_joins_rows(self):
+        a = "ab\ncd"
+        b = "ef\ngh"
+        joined = side_by_side([a, b], gap=1)
+        assert joined.splitlines() == ["ab ef", "cd gh"]
+
+    def test_labels(self):
+        joined = side_by_side(["ab\ncd"], labels=["X"])
+        assert joined.splitlines()[0].strip() == "X"
+
+    def test_label_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            side_by_side(["ab"], labels=["x", "y"])
+
+    def test_uneven_heights_padded(self):
+        joined = side_by_side(["ab", "ef\ngh"], gap=1)
+        assert joined.splitlines() == ["ab ef", "   gh"]
