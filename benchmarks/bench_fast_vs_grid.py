@@ -1,0 +1,115 @@
+"""Standalone benchmark: fast CSR engine vs paper-faithful Object-Indexing.
+
+Measures mean per-cycle wall-clock time (index maintenance + query
+answering) for the vectorized CSR engine and the overhaul/incremental
+Object-Indexing engines, and writes a ``BENCH_fast_grid.json`` with the
+fast engine's per-stage breakdown (snapshot_csr / radii / gather /
+select) so the speedup can be tracked across commits.
+
+Not collected by pytest (no ``test_`` prefix) — run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_fast_vs_grid.py
+    PYTHONPATH=src python benchmarks/bench_fast_vs_grid.py --np 10000 --cycles 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List
+
+from repro.bench.runner import make_system, measure_cycles
+from repro.motion import RandomWalkModel, make_dataset, make_queries
+
+ENGINES = ("object_overhaul", "object_incremental", "fast_grid")
+
+
+def bench_population(
+    n_objects: int, n_queries: int, k: int, cycles: int, seed: int, vmax: float
+) -> Dict:
+    """One row of the benchmark: every engine at a fixed NP."""
+    engines: Dict[str, Dict] = {}
+    for method in ENGINES:
+        positions = make_dataset("uniform", n_objects, seed=seed)
+        queries = make_queries(n_queries, seed=seed + 1)
+        motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
+        system = make_system(method, k, queries)
+        timing = measure_cycles(system, positions, motion, cycles=cycles)
+        entry: Dict = {
+            "index_s": timing.index_time,
+            "answer_s": timing.answer_time,
+            "total_s": timing.total_time,
+        }
+        if method == "fast_grid":
+            entry["stages"] = system.engine.mean_stage_times()
+        engines[method] = entry
+    baseline = engines["object_overhaul"]["total_s"]
+    fast = engines["fast_grid"]["total_s"]
+    return {
+        "np": n_objects,
+        "engines": engines,
+        "speedup_fast_vs_overhaul": baseline / max(fast, 1e-12),
+    }
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--np",
+        dest="populations",
+        type=int,
+        nargs="+",
+        default=[10_000, 100_000],
+        help="object populations to sweep (default: 10000 100000)",
+    )
+    parser.add_argument("--nq", type=int, default=1_000, help="query count")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--cycles", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--vmax", type=float, default=0.005)
+    parser.add_argument(
+        "--out", default="BENCH_fast_grid.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    runs = []
+    for n_objects in args.populations:
+        started = time.perf_counter()
+        run = bench_population(
+            n_objects, args.nq, args.k, args.cycles, args.seed, args.vmax
+        )
+        runs.append(run)
+        print(
+            f"NP={n_objects}: fast_grid {run['engines']['fast_grid']['total_s'] * 1e3:.1f}ms/cycle, "
+            f"object_overhaul {run['engines']['object_overhaul']['total_s'] * 1e3:.1f}ms/cycle, "
+            f"speedup {run['speedup_fast_vs_overhaul']:.1f}x "
+            f"[{time.perf_counter() - started:.1f}s]"
+        )
+
+    payload = {
+        "benchmark": "fast_grid_vs_object_indexing",
+        "workload": {
+            "nq": args.nq,
+            "k": args.k,
+            "cycles": args.cycles,
+            "seed": args.seed,
+            "vmax": args.vmax,
+            "dataset": "uniform",
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "runs": runs,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

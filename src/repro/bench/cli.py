@@ -5,6 +5,10 @@ Examples::
     python -m repro.bench fig11a              # reproduce one figure
     python -m repro.bench all --scale 0.5     # everything, half-size
     python -m repro.bench all --markdown out.md
+    python -m repro.bench fastgrid --scale 5  # fast CSR engine vs paper
+                                              # engines, with the per-stage
+                                              # (snapshot_csr/radii/gather/
+                                              # select) timing breakdown
 """
 
 from __future__ import annotations
@@ -26,7 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figures",
         nargs="+",
-        help="figure ids to run (e.g. fig11a fig17), or 'all'",
+        help="figure ids to run (e.g. fig11a fig17), 'fastgrid' for the "
+        "vectorized CSR engine comparison (prints its per-stage timing "
+        "breakdown), or 'all'",
     )
     parser.add_argument(
         "--scale",

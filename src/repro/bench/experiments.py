@@ -966,6 +966,58 @@ def fig22c_answering_velocity(scale: float = 1.0) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
+# Fast CSR engine (production path, not a paper figure)
+# ----------------------------------------------------------------------
+def fastgrid_speedup(scale: float = 1.0) -> ExperimentResult:
+    """Fast CSR engine vs paper-faithful grid engines (cycle-time speedup).
+
+    Not a paper figure: measures the vectorized CSR + batched-answering
+    engine against the reproduction's Object-Indexing engines on the
+    reference workload, with the fast engine's per-stage breakdown
+    (snapshot_csr / radii / gather / select).
+    """
+    n_objects = _n(NP0, scale)
+    n_queries = _n(NQ0, scale)
+    result = ExperimentResult(
+        "fastgrid",
+        "Vectorized CSR engine vs paper-faithful grid engines",
+        ["method", "index_s", "answer_s", "total_s", "speedup_vs_overhaul"],
+        expectation="the CSR layout + batched answering amortize the "
+        "per-cycle work across all queries; target >= 5x lower total "
+        "cycle time than overhaul Object-Indexing at full scale",
+    )
+    timings = {}
+    fast_engine = None
+    for method in ("object_overhaul", "object_incremental", "fast_grid"):
+        positions = make_dataset("uniform", n_objects, seed=SEED)
+        queries = make_queries(n_queries, seed=SEED + 1)
+        motion = RandomWalkModel(vmax=VMAX0, seed=SEED + 2)
+        system = make_system(method, K0, queries)
+        timings[method] = measure_cycles(
+            system, positions, motion, cycles=CYCLES0
+        )
+        if method == "fast_grid":
+            fast_engine = system.engine
+    baseline = timings["object_overhaul"].total_time
+    for method, timing in timings.items():
+        result.add_row(
+            method,
+            timing.index_time,
+            timing.answer_time,
+            timing.total_time,
+            baseline / max(timing.total_time, 1e-12),
+        )
+    if fast_engine is not None:
+        result.stage_breakdown["fast_grid"] = fast_engine.mean_stage_times()
+    speedup = baseline / max(timings["fast_grid"].total_time, 1e-12)
+    result.findings.append(
+        f"fast_grid is {speedup:.1f}x faster than object_overhaul "
+        f"(NP={n_objects}, NQ={n_queries}, k={K0})"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
@@ -989,6 +1041,7 @@ EXPERIMENTS: Dict[str, Callable[[float], ExperimentResult]] = {
     "fig22a": fig22a_object_maintenance_velocity,
     "fig22b": fig22b_query_maintenance_velocity,
     "fig22c": fig22c_answering_velocity,
+    "fastgrid": fastgrid_speedup,
     "ablation_delta0": ablation_delta0,
     "ablation_hier_params": ablation_hier_params,
     "ablation_containers": ablation_containers,

@@ -24,6 +24,11 @@ class ExperimentResult:
     rows: List[List[Any]] = field(default_factory=list)
     expectation: str = ""
     findings: List[str] = field(default_factory=list)
+    # Per-stage timing breakdowns keyed by engine label, each mapping a
+    # stage name to mean seconds per cycle (filled by engines that expose
+    # stage hooks, e.g. the fast CSR engine's snapshot_csr/radii/gather/
+    # select split).
+    stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -43,11 +48,30 @@ class ExperimentResult:
             lines.append(f"paper: {self.expectation}")
         lines.append("")
         lines.append(format_table(self.columns, self.rows))
+        if self.stage_breakdown:
+            lines.append("")
+            lines.append(self.render_stage_breakdown())
         if self.findings:
             lines.append("")
             for finding in self.findings:
                 lines.append(f"measured: {finding}")
         return "\n".join(lines)
+
+    def render_stage_breakdown(self) -> str:
+        """Align the per-stage timing breakdowns as a small table."""
+        stages: List[str] = []
+        for breakdown in self.stage_breakdown.values():
+            for stage in breakdown:
+                if stage not in stages:
+                    stages.append(stage)
+        columns = ["engine"] + [f"{s}_s" for s in stages] + ["total_s"]
+        rows = [
+            [label]
+            + [breakdown.get(s, 0.0) for s in stages]
+            + [sum(breakdown.values())]
+            for label, breakdown in self.stage_breakdown.items()
+        ]
+        return format_table(columns, rows)
 
     def render_markdown(self) -> str:
         """Render as GitHub-flavored markdown (for EXPERIMENTS.md)."""
@@ -61,6 +85,11 @@ class ExperimentResult:
         lines.append(separator)
         for row in self.rows:
             lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        if self.stage_breakdown:
+            lines.append("")
+            lines.append("```")
+            lines.append(self.render_stage_breakdown())
+            lines.append("```")
         if self.findings:
             lines.append("")
             for finding in self.findings:

@@ -91,6 +91,7 @@ METHOD_FACTORIES: Dict[str, Callable[..., MonitoringSystem]] = {
     ),
     "brute_force": lambda k, q, **kw: MonitoringSystem.brute_force(k, q, **kw),
     "tpr_predictive": lambda k, q, **kw: _tpr_system(k, q, **kw),
+    "fast_grid": lambda k, q, **kw: MonitoringSystem.fast_grid(k, q, **kw),
 }
 
 

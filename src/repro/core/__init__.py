@@ -43,6 +43,7 @@ from .monitor import (
     QueryIndexingEngine,
     RTreeEngine,
 )
+from .fast_index import CSRGrid, FastGridEngine, StageTimings
 from .object_index import ObjectIndex
 from .query_index import QueryIndex
 
@@ -74,7 +75,10 @@ __all__ = [
     "knn_self_join_incremental",
     "BaseEngine",
     "BruteForceEngine",
+    "CSRGrid",
     "CycleStats",
+    "FastGridEngine",
+    "StageTimings",
     "HierarchicalEngine",
     "HierarchicalObjectIndex",
     "MonitoringSystem",

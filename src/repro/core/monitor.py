@@ -18,6 +18,8 @@ Factory                      Paper method
 ``hierarchical``             hierarchical Object-Indexing (§4)
 ``rtree``                    R-tree overhaul / bottom-up baselines (§5.4)
 ``brute_force``              linear-scan oracle (not in the paper; testing)
+``fast_grid``                vectorized CSR + batched answering (production
+                             fast path, not a paper method; see fast_index)
 ===========================  ==================================================
 """
 
@@ -466,6 +468,25 @@ class MonitoringSystem:
         cls, k: int, queries: np.ndarray, tau: float = 1.0
     ) -> "MonitoringSystem":
         return cls(BruteForceEngine(k, queries), tau=tau)
+
+    @classmethod
+    def fast_grid(
+        cls,
+        k: int,
+        queries: np.ndarray,
+        tau: float = 1.0,
+        **grid_kwargs,
+    ) -> "MonitoringSystem":
+        """Vectorized CSR-grid engine with batched multi-query answering.
+
+        The production fast path: exact answers (ties broken by object
+        ID), same cycle contract as the paper engines, but the snapshot is
+        laid out as flat numpy arrays and all queries are answered in one
+        batched pass.  See :mod:`repro.core.fast_index`.
+        """
+        from .fast_index import FastGridEngine
+
+        return cls(FastGridEngine(k, queries, **grid_kwargs), tau=tau)
 
     # ------------------------------------------------------------------
     # Monitoring

@@ -116,10 +116,12 @@ class ObjectIndex:
         This is the paper's ``Tindex = a0 * NP`` linear scan.
         """
         positions = np.asarray(positions, dtype=np.float64)
-        self.grid.bulk_load_points(positions[:, 0], positions[:, 1])
+        # Compute the flat cell IDs once and share them between the bucket
+        # fill and the stored array that incremental update() diffs against.
+        self._cell_flat = self._flat_cells(positions)
+        self.grid.bulk_load_flat(self._cell_flat)
         self._x = positions[:, 0].tolist()
         self._y = positions[:, 1].tolist()
-        self._cell_flat = self._flat_cells(positions)
         self._built = True
 
     def update(self, positions: np.ndarray) -> int:

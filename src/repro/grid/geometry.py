@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Tuple
 
 
@@ -212,27 +213,38 @@ def min_dist2_point_cell(
     )
 
 
+@lru_cache(maxsize=None)
+def _ring_offsets(l: int) -> Tuple[Tuple[int, int], ...]:
+    """Relative ``(di, dj)`` offsets of the ring at Chebyshev distance ``l``.
+
+    The offsets depend only on ``l``, yet the overhaul search asks for the
+    same rings for every query every cycle; memoizing them leaves only the
+    translate-and-clamp work per call.
+    """
+    if l == 0:
+        return ((0, 0),)
+    out: List[Tuple[int, int]] = []
+    # Top and bottom rows of the ring.
+    for dj in (-l, l):
+        for di in range(-l, l + 1):
+            out.append((di, dj))
+    # Left and right columns, excluding the corners already emitted.
+    for di in (-l, l):
+        for dj in range(-l + 1, l):
+            out.append((di, dj))
+    return tuple(out)
+
+
 def cells_ring(ci: int, cj: int, l: int, ncells: int) -> List[Tuple[int, int]]:
     """Cells at exactly Chebyshev distance ``l`` from ``(ci, cj)``, clamped.
 
     ``l == 0`` yields the centre cell itself.  Used by the overhaul search
     to enlarge ``R0`` one ring at a time without rescanning interior cells.
     """
-    if l == 0:
-        if 0 <= ci < ncells and 0 <= cj < ncells:
-            return [(ci, cj)]
-        return []
     out: List[Tuple[int, int]] = []
-    jlo, jhi = cj - l, cj + l
-    ilo, ihi = ci - l, ci + l
-    # Top and bottom rows of the ring.
-    for j in (jlo, jhi):
-        if 0 <= j < ncells:
-            for i in range(max(0, ilo), min(ncells - 1, ihi) + 1):
-                out.append((i, j))
-    # Left and right columns, excluding the corners already emitted.
-    for i in (ilo, ihi):
-        if 0 <= i < ncells:
-            for j in range(max(0, jlo + 1), min(ncells - 1, jhi - 1) + 1):
-                out.append((i, j))
+    for di, dj in _ring_offsets(l):
+        i = ci + di
+        j = cj + dj
+        if 0 <= i < ncells and 0 <= j < ncells:
+            out.append((i, j))
     return out

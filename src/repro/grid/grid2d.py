@@ -120,13 +120,19 @@ class Grid2D:
         scan of the objects).  The cell of every point is computed with a
         vectorised floor division; the bucket fill remains a linear scan.
         """
-        self.clear()
-        if len(xs) == 0:
-            return
         n = self.ncells
         ii = np.clip((xs * n).astype(np.intp), 0, n - 1)
         jj = np.clip((ys * n).astype(np.intp), 0, n - 1)
-        flat = jj * n + ii
+        self.bulk_load_flat(jj * n + ii)
+
+    def bulk_load_flat(self, flat: np.ndarray) -> None:
+        """Rebuild from precomputed flat cell IDs (``j * G + i``) per point.
+
+        Callers that already hold the flat-cell array of the snapshot (the
+        Object-Index keeps it for incremental maintenance) pass it here so
+        the cell mapping is computed once per cycle instead of twice.
+        """
+        self.clear()
         buckets = self._buckets
         for ident, cell in enumerate(flat.tolist()):
             buckets[cell].append(ident)

@@ -244,3 +244,24 @@ class TestCellsRing:
 
     def test_center_outside_grid(self):
         assert cells_ring(-5, -5, 0, 10) == []
+
+    def test_offsets_memoized(self):
+        from repro.grid.geometry import _ring_offsets
+
+        _ring_offsets.cache_clear()
+        cells_ring(4, 4, 2, 10)
+        hits_before = _ring_offsets.cache_info().hits
+        # Same level from different centers/grids reuses the cached offsets.
+        cells_ring(9, 1, 2, 12)
+        cells_ring(0, 0, 2, 30)
+        assert _ring_offsets.cache_info().hits == hits_before + 2
+        assert _ring_offsets.cache_info().misses == 1
+
+    def test_memoized_rings_keep_translation_invariance(self):
+        # The ring of (ci, cj) is the ring of (0, 0) translated, before
+        # clamping; verify via an interior center where nothing clamps.
+        for level in range(4):
+            centered = cells_ring(10, 10, level, 40)
+            origin = [(i - 10, j - 10) for i, j in centered]
+            shifted = cells_ring(25, 17, level, 40)
+            assert [(i - 25, j - 17) for i, j in shifted] == origin

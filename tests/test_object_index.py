@@ -180,6 +180,24 @@ class TestIncrementalUpdate:
         with pytest.raises(IndexStateError):
             index.update(uniform_1k[:500])
 
+    def test_update_matches_fresh_build(self, uniform_1k):
+        """Incremental update reuses the stored flat-cell array, so after
+        any number of updates the grid must equal a from-scratch build."""
+        index = built_index(uniform_1k)
+        fresh = ObjectIndex(n_objects=len(uniform_1k))
+        motion = RandomWalkModel(vmax=0.05, seed=9)
+        current = uniform_1k
+        for _ in range(4):
+            current = motion.step(current)
+            index.update(current)
+        fresh.build(current)
+        index.validate()
+        assert np.array_equal(index._cell_flat, fresh._cell_flat)
+        assert index._x == fresh._x and index._y == fresh._y
+        got = [sorted(b) for b in index.grid._buckets]
+        want = [sorted(b) for b in fresh.grid._buckets]
+        assert got == want
+
     def test_sorted_cells_mode(self, uniform_1k):
         index = built_index(uniform_1k, ncells=31, sorted_cells=True)
         motion = RandomWalkModel(vmax=0.05, seed=5)
