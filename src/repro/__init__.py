@@ -71,6 +71,16 @@ from .roadnet import (
     synthetic_road_network,
 )
 from .motion.linear import LinearMotionModel
+from .obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    Tracer,
+    cycle_report,
+    prometheus_text,
+    run_validation,
+    write_history_jsonl,
+)
 from .rtree import RTree
 from .tprtree import TPREngine, TPRTree
 from .viz import density_plot, side_by_side
@@ -94,9 +104,12 @@ __all__ = [
     "KNNJoinMonitor",
     "KeyedAnswer",
     "LinearMotionModel",
+    "MetricsRegistry",
     "MonitoringService",
     "MonitoringSystem",
+    "NULL_REGISTRY",
     "NotEnoughObjectsError",
+    "NullRegistry",
     "ObjectIndex",
     "OutOfRegionError",
     "PositionBuffer",
@@ -110,6 +123,7 @@ __all__ = [
     "SelfJoinMonitor",
     "TPREngine",
     "TPRTree",
+    "Tracer",
     "WorkloadProfile",
     "RandomWalkModel",
     "ReproError",
@@ -118,14 +132,18 @@ __all__ = [
     "answers_equal",
     "brute_force_knn",
     "calibrate",
+    "cycle_report",
     "density_plot",
     "make_dataset",
     "make_queries",
     "side_by_side",
     "optimal_cell_size",
     "pr_exit",
+    "prometheus_text",
     "recommend",
     "roadnet_dataset",
+    "run_validation",
     "synthetic_road_network",
+    "write_history_jsonl",
     "__version__",
 ]

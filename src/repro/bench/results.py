@@ -29,6 +29,9 @@ class ExperimentResult:
     # stage hooks, e.g. the fast CSR engine's snapshot_csr/radii/gather/
     # select split).
     stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Mean per-cycle observability counters keyed by engine label (filled
+    # by experiments run with instrument=True; empty otherwise).
+    counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -51,11 +54,23 @@ class ExperimentResult:
         if self.stage_breakdown:
             lines.append("")
             lines.append(self.render_stage_breakdown())
+        if self.counters:
+            lines.append("")
+            lines.append(self.render_counters())
         if self.findings:
             lines.append("")
             for finding in self.findings:
                 lines.append(f"measured: {finding}")
         return "\n".join(lines)
+
+    def render_counters(self) -> str:
+        """Mean per-cycle counters per engine as ``engine counter mean`` rows."""
+        rows = [
+            [label, name, value]
+            for label, counters in self.counters.items()
+            for name, value in sorted(counters.items())
+        ]
+        return format_table(["engine", "counter", "mean/cycle"], rows)
 
     def render_stage_breakdown(self) -> str:
         """Align the per-stage timing breakdowns as a small table."""

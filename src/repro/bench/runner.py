@@ -10,27 +10,51 @@ paper splits them (Fig. 11(b): "Index building" vs "Query answering").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..core.monitor import MonitoringSystem
+from ..core.monitor import CycleStats, MonitoringSystem
 from ..errors import ConfigurationError
 from ..motion import RandomWalkModel, make_dataset, make_queries
+from ..obs.export import mean_cycle_counters
+from ..obs.registry import MetricsRegistry
+from ..obs.tracing import span_seconds
 
 
 @dataclass(frozen=True)
 class CycleTiming:
-    """Mean per-cycle timings in seconds (initial build excluded)."""
+    """Mean per-cycle timings in seconds (initial build excluded).
+
+    Derived from the monitor layer's per-cycle :class:`CycleStats` via
+    :meth:`from_history` — ``CycleStats`` is the single source of truth
+    for cycle timing; this type only carries the steady-state means the
+    benchmark tables print.  ``counters`` holds the mean per-cycle metric
+    deltas when the measured system was instrumented.
+    """
 
     index_time: float
     answer_time: float
     cycles: int
+    counters: Optional[Mapping[str, float]] = field(default=None, compare=False)
 
     @property
     def total_time(self) -> float:
         return self.index_time + self.answer_time
+
+    @classmethod
+    def from_history(
+        cls, history: Sequence[CycleStats], skip_first: bool = True
+    ) -> "CycleTiming":
+        """Steady-state means of a monitoring history (initial build excluded)."""
+        index_time, answer_time, cycles = CycleStats.mean_of(history, skip_first)
+        counters = mean_cycle_counters(history, skip_first=skip_first) or None
+        return cls(index_time, answer_time, cycles, counters)
+
+    def span_means(self) -> Dict[str, float]:
+        """Mean seconds per span path per cycle (empty if uninstrumented)."""
+        return span_seconds(self.counters or {})
 
 
 def measure_cycles(
@@ -53,10 +77,7 @@ def measure_cycles(
     for _ in range(cycles):
         current = motion.step(current)
         system.tick(current)
-    stats = system.history[1:]
-    index_time = sum(s.index_time for s in stats) / len(stats)
-    answer_time = sum(s.answer_time for s in stats) / len(stats)
-    return CycleTiming(index_time, answer_time, cycles)
+    return CycleTiming.from_history(system.history)
 
 
 # Factories by the method names used throughout the benchmark suite.  Each
@@ -95,10 +116,15 @@ METHOD_FACTORIES: Dict[str, Callable[..., MonitoringSystem]] = {
 }
 
 
-def _tpr_system(k: int, queries: np.ndarray, **kwargs) -> MonitoringSystem:
+def _tpr_system(
+    k: int,
+    queries: np.ndarray,
+    registry: Optional[MetricsRegistry] = None,
+    **kwargs,
+) -> MonitoringSystem:
     from ..tprtree import TPREngine
 
-    return MonitoringSystem(TPREngine(k, queries, **kwargs))
+    return MonitoringSystem(TPREngine(k, queries, **kwargs), registry=registry)
 
 
 def make_system(method: str, k: int, queries: np.ndarray, **kwargs) -> MonitoringSystem:
@@ -120,11 +146,21 @@ def measure_method(
     vmax: float = 0.005,
     cycles: int = 5,
     seed: int = 7,
+    instrument: bool = False,
     **system_kwargs,
 ) -> CycleTiming:
-    """One-call measurement used by the per-figure experiment functions."""
+    """One-call measurement used by the per-figure experiment functions.
+
+    With ``instrument=True`` the system runs with a live
+    :class:`~repro.obs.registry.MetricsRegistry` and the returned timing
+    carries mean per-cycle counters (spans included).  Timings measured
+    this way include the instrumentation overhead, so published numbers
+    should keep the default.
+    """
     positions = make_dataset(dataset, n_objects, seed=seed)
     queries = make_queries(n_queries, seed=seed + 1)
     motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
+    if instrument and "registry" not in system_kwargs:
+        system_kwargs["registry"] = MetricsRegistry()
     system = make_system(method, k, queries, **system_kwargs)
     return measure_cycles(system, positions, motion, cycles=cycles)

@@ -39,6 +39,10 @@ class PositionBuffer:
         self._current = positions.copy()
         self._dirty: Dict[int, Tuple[float, float]] = {}
         self.reports_received = 0
+        #: Reports that overwrote a still-pending report for the same
+        #: object (the buffer "hit" its coalescing purpose).
+        self.coalesced_reports = 0
+        self.snapshots_taken = 0
 
     @staticmethod
     def _validate_region(positions: np.ndarray) -> None:
@@ -72,6 +76,8 @@ class PositionBuffer:
             )
         if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
             raise OutOfRegionError(x, y)
+        if object_id in self._dirty:
+            self.coalesced_reports += 1
         self._dirty[object_id] = (x, y)
         self.reports_received += 1
 
@@ -90,6 +96,7 @@ class PositionBuffer:
                 self._current[object_id, 0] = x
                 self._current[object_id, 1] = y
             self._dirty.clear()
+        self.snapshots_taken += 1
         return self._current.copy()
 
 
@@ -109,6 +116,8 @@ class MonitoringService:
         self.system = system
         #: Exact answers for the initial snapshot (timestamp 0).
         self.initial_answers: List[QueryAnswer] = system.load(self.buffer.snapshot())
+        self._reports_seen = self.buffer.reports_received
+        self._coalesced_seen = self.buffer.coalesced_reports
 
     def report(self, object_id: int, x: float, y: float) -> None:
         """Accept one asynchronous position report."""
@@ -119,6 +128,19 @@ class MonitoringService:
 
     def run_cycle(self) -> List[QueryAnswer]:
         """Take a snapshot and run one monitoring cycle against it."""
+        registry = self.system.registry
+        if registry.enabled:
+            buffer = self.buffer
+            registry.inc(
+                "buffer.reports", buffer.reports_received - self._reports_seen
+            )
+            registry.inc(
+                "buffer.coalesced_hits",
+                buffer.coalesced_reports - self._coalesced_seen,
+            )
+            registry.inc("buffer.objects_folded", buffer.pending_reports)
+            self._reports_seen = buffer.reports_received
+            self._coalesced_seen = buffer.coalesced_reports
         return self.system.tick(self.buffer.snapshot())
 
     @property

@@ -31,7 +31,6 @@ and the per-query union rectangle only ever *adds* candidate cells.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -39,6 +38,8 @@ import numpy as np
 
 from ..errors import IndexStateError, NotEnoughObjectsError
 from ..grid.grid2d import resolve_grid_size
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from ..obs.tracing import Tracer
 from .answers import AnswerList
 from .monitor import BaseEngine
 
@@ -151,8 +152,19 @@ class FastGridEngine(BaseEngine):
         self._delta = delta
         self.csr: Optional[CSRGrid] = None
         self.stage_history: List[StageTimings] = []
-        self._pending: Optional[StageTimings] = None
         self._snapshot_time = 0.0
+        # stage_history must be populated whether or not the monitoring
+        # system is instrumented, so stages are always timed by a real
+        # Tracer; by default it records into the no-op registry.
+        self._stage_tracer = Tracer(NULL_REGISTRY)
+
+    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
+        super().bind_observability(registry, tracer)
+        if isinstance(tracer, Tracer):
+            # Share the system tracer: stage spans then both feed the
+            # registry (nested under maintain/answer) and fill
+            # stage_history via their measured durations.
+            self._stage_tracer = tracer
 
     # ------------------------------------------------------------------
     # Maintenance: rebuild the CSR snapshot every cycle
@@ -167,11 +179,11 @@ class FastGridEngine(BaseEngine):
         self.maintain(positions)
 
     def maintain(self, positions: np.ndarray) -> None:
-        start = time.perf_counter()
-        positions = np.asarray(positions, dtype=np.float64)
-        self.csr = CSRGrid(positions, self._resolve_ncells(len(positions)))
-        self._positions = positions
-        self._snapshot_time = time.perf_counter() - start
+        with self._stage_tracer.span("csr_snapshot") as span:
+            positions = np.asarray(positions, dtype=np.float64)
+            self.csr = CSRGrid(positions, self._resolve_ncells(len(positions)))
+            self._positions = positions
+        self._snapshot_time = span.duration
 
     # ------------------------------------------------------------------
     # Answering: radii -> gather -> select, all queries at once
@@ -189,158 +201,172 @@ class FastGridEngine(BaseEngine):
                 StageTimings(self._snapshot_time, 0.0, 0.0, 0.0)
             )
             return []
+        tracer = self._stage_tracer
 
         # ---- stage: radii -------------------------------------------------
-        t0 = time.perf_counter()
-        n = csr.ncells
-        delta = csr.delta
-        qx = np.ascontiguousarray(self.queries[:, 0])
-        qy = np.ascontiguousarray(self.queries[:, 1])
-        qi = np.clip((qx * n).astype(np.intp), 0, n - 1)
-        qj = np.clip((qy * n).astype(np.intp), 0, n - 1)
+        with tracer.span("radii") as span_radii:
+            n = csr.ncells
+            delta = csr.delta
+            qx = np.ascontiguousarray(self.queries[:, 0])
+            qy = np.ascontiguousarray(self.queries[:, 1])
+            qi = np.clip((qx * n).astype(np.intp), 0, n - 1)
+            qj = np.clip((qy * n).astype(np.intp), 0, n - 1)
 
-        # Vectorized ring growth: every query still short of k objects
-        # grows its rectangle R(cq, l) by one ring per pass; the
-        # prefix-sum makes each pass O(NQ) with no per-object work.
-        level = np.zeros(nq, dtype=np.intp)
-        counts = csr.count_in_rects(qi, qj, qi, qj)
-        active = counts < k
-        l = 0
-        while active.any():
-            l += 1
-            if l > n:  # pragma: no cover - k <= n_objects makes this unreachable
-                raise NotEnoughObjectsError(k, csr.n_objects)
-            ai, aj = qi[active], qj[active]
-            acounts = csr.count_in_rects(
-                np.maximum(ai - l, 0),
-                np.maximum(aj - l, 0),
-                np.minimum(ai + l, n - 1),
-                np.minimum(aj + l, n - 1),
-            )
-            done = acounts >= k
-            idx = np.nonzero(active)[0]
-            level[idx[done]] = l
-            active[idx[done]] = False
+            # Vectorized ring growth: every query still short of k objects
+            # grows its rectangle R(cq, l) by one ring per pass; the
+            # prefix-sum makes each pass O(NQ) with no per-object work.
+            level = np.zeros(nq, dtype=np.intp)
+            counts = csr.count_in_rects(qi, qj, qi, qj)
+            active = counts < k
+            l = 0
+            while active.any():
+                l += 1
+                if l > n:  # pragma: no cover - k <= n_objects makes this unreachable
+                    raise NotEnoughObjectsError(k, csr.n_objects)
+                ai, aj = qi[active], qj[active]
+                acounts = csr.count_in_rects(
+                    np.maximum(ai - l, 0),
+                    np.maximum(aj - l, 0),
+                    np.minimum(ai + l, n - 1),
+                    np.minimum(aj + l, n - 1),
+                )
+                done = acounts >= k
+                idx = np.nonzero(active)[0]
+                level[idx[done]] = l
+                active[idx[done]] = False
 
-        # lcrit: distance from q to the farthest corner of the clamped R0.
-        # R0 holds >= k objects, so the disc (q, lcrit) covers the true k-NN.
-        r0_xlo = np.maximum(qi - level, 0) * delta
-        r0_ylo = np.maximum(qj - level, 0) * delta
-        r0_xhi = (np.minimum(qi + level, n - 1) + 1) * delta
-        r0_yhi = (np.minimum(qj + level, n - 1) + 1) * delta
-        far_dx = np.maximum(qx - r0_xlo, r0_xhi - qx)
-        far_dy = np.maximum(qy - r0_ylo, r0_yhi - qy)
-        lcrit = np.hypot(far_dx, far_dy)
+            # lcrit: distance from q to the farthest corner of the clamped R0.
+            # R0 holds >= k objects, so the disc (q, lcrit) covers the true k-NN.
+            r0_xlo = np.maximum(qi - level, 0) * delta
+            r0_ylo = np.maximum(qj - level, 0) * delta
+            r0_xhi = (np.minimum(qi + level, n - 1) + 1) * delta
+            r0_yhi = (np.minimum(qj + level, n - 1) + 1) * delta
+            far_dx = np.maximum(qx - r0_xlo, r0_xhi - qx)
+            far_dy = np.maximum(qy - r0_ylo, r0_yhi - qy)
+            lcrit = np.hypot(far_dx, far_dy)
 
-        # Critical rectangle: cells intersecting the bounding box of the disc.
-        ilo = np.clip(np.floor((qx - lcrit) * n).astype(np.intp), 0, n - 1)
-        jlo = np.clip(np.floor((qy - lcrit) * n).astype(np.intp), 0, n - 1)
-        ihi = np.clip(np.floor((qx + lcrit) * n).astype(np.intp), 0, n - 1)
-        jhi = np.clip(np.floor((qy + lcrit) * n).astype(np.intp), 0, n - 1)
-        t_radii = time.perf_counter() - t0
+            # Critical rectangle: cells intersecting the bounding box of the disc.
+            ilo = np.clip(np.floor((qx - lcrit) * n).astype(np.intp), 0, n - 1)
+            jlo = np.clip(np.floor((qy - lcrit) * n).astype(np.intp), 0, n - 1)
+            ihi = np.clip(np.floor((qx + lcrit) * n).astype(np.intp), 0, n - 1)
+            jhi = np.clip(np.floor((qy + lcrit) * n).astype(np.intp), 0, n - 1)
 
         # ---- stage: gather ------------------------------------------------
-        t0 = time.perf_counter()
-        # Group queries by home cell; the group's union rectangle is shared
-        # by every member, so co-located queries share one gather.
-        qflat = qj * n + qi
-        qorder = np.argsort(qflat, kind="stable")
-        sorted_flat = qflat[qorder]
-        group_start = np.concatenate(
-            ([0], np.nonzero(np.diff(sorted_flat))[0] + 1)
-        )
-        g_ilo = np.minimum.reduceat(ilo[qorder], group_start)
-        g_jlo = np.minimum.reduceat(jlo[qorder], group_start)
-        g_ihi = np.maximum.reduceat(ihi[qorder], group_start)
-        g_jhi = np.maximum.reduceat(jhi[qorder], group_start)
-        group_sizes = np.diff(np.concatenate((group_start, [nq])))
-        ngroups = len(group_start)
+        with tracer.span("gather") as span_gather:
+            # Group queries by home cell; the group's union rectangle is shared
+            # by every member, so co-located queries share one gather.
+            qflat = qj * n + qi
+            qorder = np.argsort(qflat, kind="stable")
+            sorted_flat = qflat[qorder]
+            group_start = np.concatenate(
+                ([0], np.nonzero(np.diff(sorted_flat))[0] + 1)
+            )
+            g_ilo = np.minimum.reduceat(ilo[qorder], group_start)
+            g_jlo = np.minimum.reduceat(jlo[qorder], group_start)
+            g_ihi = np.maximum.reduceat(ihi[qorder], group_start)
+            g_jhi = np.maximum.reduceat(jhi[qorder], group_start)
+            group_sizes = np.diff(np.concatenate((group_start, [nq])))
+            ngroups = len(group_start)
 
-        # Expand each group rectangle into row segments: row j of the rect
-        # is one contiguous CSR slice (cells (ilo..ihi, j) have consecutive
-        # flat IDs).
-        rows_per_group = g_jhi - g_jlo + 1
-        seg_group = np.repeat(np.arange(ngroups), rows_per_group)
-        row_cum = np.concatenate(([0], np.cumsum(rows_per_group)))
-        seg_j = g_jlo[seg_group] + (np.arange(row_cum[-1]) - row_cum[seg_group])
-        seg_lo = csr.cell_start[seg_j * n + g_ilo[seg_group]]
-        seg_hi = csr.cell_start[seg_j * n + g_ihi[seg_group] + 1]
-        seg_len = seg_hi - seg_lo
+            # Expand each group rectangle into row segments: row j of the rect
+            # is one contiguous CSR slice (cells (ilo..ihi, j) have consecutive
+            # flat IDs).
+            rows_per_group = g_jhi - g_jlo + 1
+            seg_group = np.repeat(np.arange(ngroups), rows_per_group)
+            row_cum = np.concatenate(([0], np.cumsum(rows_per_group)))
+            seg_j = g_jlo[seg_group] + (np.arange(row_cum[-1]) - row_cum[seg_group])
+            seg_lo = csr.cell_start[seg_j * n + g_ilo[seg_group]]
+            seg_hi = csr.cell_start[seg_j * n + g_ihi[seg_group] + 1]
+            seg_len = seg_hi - seg_lo
 
-        # Flatten the segments into per-group candidate blocks of CSR
-        # indices (block = all objects inside the group's rectangle).
-        ncand = int(seg_len.sum())
-        seg_cum = np.concatenate(([0], np.cumsum(seg_len)))
-        block_idx = (
-            np.repeat(seg_lo - seg_cum[:-1], seg_len) + np.arange(ncand)
-        )
-        cand_per_group = np.bincount(
-            seg_group, weights=seg_len, minlength=ngroups
-        ).astype(np.intp)
-        group_cand_start = np.concatenate(
-            ([0], np.cumsum(cand_per_group))
-        )
+            # Flatten the segments into per-group candidate blocks of CSR
+            # indices (block = all objects inside the group's rectangle).
+            ncand = int(seg_len.sum())
+            seg_cum = np.concatenate(([0], np.cumsum(seg_len)))
+            block_idx = (
+                np.repeat(seg_lo - seg_cum[:-1], seg_len) + np.arange(ncand)
+            )
+            cand_per_group = np.bincount(
+                seg_group, weights=seg_len, minlength=ngroups
+            ).astype(np.intp)
+            group_cand_start = np.concatenate(
+                ([0], np.cumsum(cand_per_group))
+            )
 
-        # Expand to (query, candidate) pairs: every query of a group pairs
-        # with the group's whole block.
-        pairs_per_query = cand_per_group[np.repeat(np.arange(ngroups), group_sizes)]
-        npairs = int(pairs_per_query.sum())
-        pair_cum = np.concatenate(([0], np.cumsum(pairs_per_query)))
-        pair_block_start = np.repeat(
-            group_cand_start[:-1], group_sizes * cand_per_group
-        )
-        pair_local = np.arange(npairs) - np.repeat(pair_cum[:-1], pairs_per_query)
-        pair_cand = block_idx[pair_block_start + pair_local]
-        # Query of each pair, in sorted-query positions (0..nq-1).
-        pair_qpos = np.repeat(np.arange(nq), pairs_per_query)
+            # Expand to (query, candidate) pairs: every query of a group pairs
+            # with the group's whole block.
+            pairs_per_query = cand_per_group[np.repeat(np.arange(ngroups), group_sizes)]
+            npairs = int(pairs_per_query.sum())
+            pair_cum = np.concatenate(([0], np.cumsum(pairs_per_query)))
+            pair_block_start = np.repeat(
+                group_cand_start[:-1], group_sizes * cand_per_group
+            )
+            pair_local = np.arange(npairs) - np.repeat(pair_cum[:-1], pairs_per_query)
+            pair_cand = block_idx[pair_block_start + pair_local]
+            # Query of each pair, in sorted-query positions (0..nq-1).
+            pair_qpos = np.repeat(np.arange(nq), pairs_per_query)
 
-        sqx = qx[qorder]
-        sqy = qy[qorder]
-        dx = csr.xs[pair_cand] - sqx[pair_qpos]
-        dy = csr.ys[pair_cand] - sqy[pair_qpos]
-        pair_d2 = dx * dx + dy * dy
-        pair_ids = csr.ids[pair_cand]
-        t_gather = time.perf_counter() - t0
+            sqx = qx[qorder]
+            sqy = qy[qorder]
+            dx = csr.xs[pair_cand] - sqx[pair_qpos]
+            dy = csr.ys[pair_cand] - sqy[pair_qpos]
+            pair_d2 = dx * dx + dy * dy
+            pair_ids = csr.ids[pair_cand]
 
         # ---- stage: select ------------------------------------------------
-        t0 = time.perf_counter()
-        maxc = int(pairs_per_query.max())
-        if maxc * nq <= max(4 * npairs, DENSE_SELECT_LIMIT):
-            # Dense path: scatter the ragged pairs into an (nq, maxc)
-            # matrix padded with inf and rank each row by (distance, ID)
-            # with one two-key lexsort — exact k-NN with deterministic
-            # ID tie-breaking, no per-query Python work.
-            dmat = np.full((nq, maxc), np.inf)
-            imat = np.zeros((nq, maxc), dtype=np.intp)
-            within = np.arange(npairs) - np.repeat(
-                pair_cum[:-1], pairs_per_query
+        with tracer.span("select") as span_select:
+            maxc = int(pairs_per_query.max())
+            dense = maxc * nq <= max(4 * npairs, DENSE_SELECT_LIMIT)
+            if dense:
+                # Dense path: scatter the ragged pairs into an (nq, maxc)
+                # matrix padded with inf and rank each row by (distance, ID)
+                # with one two-key lexsort — exact k-NN with deterministic
+                # ID tie-breaking, no per-query Python work.
+                dmat = np.full((nq, maxc), np.inf)
+                imat = np.zeros((nq, maxc), dtype=np.intp)
+                within = np.arange(npairs) - np.repeat(
+                    pair_cum[:-1], pairs_per_query
+                )
+                dmat[pair_qpos, within] = pair_d2
+                imat[pair_qpos, within] = pair_ids
+                row_order = np.lexsort((imat, dmat), axis=1)[:, :k]
+                top_d2 = np.take_along_axis(dmat, row_order, axis=1)
+                top_ids = np.take_along_axis(imat, row_order, axis=1)
+            else:
+                # Ragged fallback (heavily skewed data can give a few queries
+                # huge candidate blocks): one global lexsort by (query,
+                # distance, ID); the first k pairs of each query's contiguous
+                # run are its exact k-NN.
+                order = np.lexsort((pair_ids, pair_d2, pair_qpos))
+                top = order[pair_cum[:-1, None] + np.arange(k)[None, :]]
+                top_d2 = pair_d2[top]
+                top_ids = pair_ids[top]
+
+            answers: List[AnswerList] = [None] * nq  # type: ignore[list-item]
+            d_rows = top_d2.tolist()
+            i_rows = top_ids.tolist()
+            for pos, query_id in enumerate(qorder.tolist()):
+                answer = AnswerList(k)
+                answer._entries = list(zip(d_rows[pos], i_rows[pos]))
+                answers[query_id] = answer
+
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("fast.answer.queries", nq)
+            metrics.inc("fast.answer.ring_passes", l)
+            metrics.inc("fast.answer.groups", ngroups)
+            metrics.inc("fast.answer.candidates", ncand)
+            metrics.inc("fast.answer.pairs", npairs)
+            metrics.inc(
+                "fast.answer.dense_selects" if dense else "fast.answer.ragged_selects"
             )
-            dmat[pair_qpos, within] = pair_d2
-            imat[pair_qpos, within] = pair_ids
-            row_order = np.lexsort((imat, dmat), axis=1)[:, :k]
-            top_d2 = np.take_along_axis(dmat, row_order, axis=1)
-            top_ids = np.take_along_axis(imat, row_order, axis=1)
-        else:
-            # Ragged fallback (heavily skewed data can give a few queries
-            # huge candidate blocks): one global lexsort by (query,
-            # distance, ID); the first k pairs of each query's contiguous
-            # run are its exact k-NN.
-            order = np.lexsort((pair_ids, pair_d2, pair_qpos))
-            top = order[pair_cum[:-1, None] + np.arange(k)[None, :]]
-            top_d2 = pair_d2[top]
-            top_ids = pair_ids[top]
-
-        answers: List[AnswerList] = [None] * nq  # type: ignore[list-item]
-        d_rows = top_d2.tolist()
-        i_rows = top_ids.tolist()
-        for pos, query_id in enumerate(qorder.tolist()):
-            answer = AnswerList(k)
-            answer._entries = list(zip(d_rows[pos], i_rows[pos]))
-            answers[query_id] = answer
-        t_select = time.perf_counter() - t0
-
         self.stage_history.append(
-            StageTimings(self._snapshot_time, t_radii, t_gather, t_select)
+            StageTimings(
+                self._snapshot_time,
+                span_radii.duration,
+                span_gather.duration,
+                span_select.duration,
+            )
         )
         return answers
 

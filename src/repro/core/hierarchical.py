@@ -24,9 +24,35 @@ import numpy as np
 
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
 from ..grid.geometry import min_dist2_point_box
+from ..obs.counters import CounterBlock
+from ..obs.tracing import NULL_TRACER
 from .answers import AnswerList
 
 _Bucket = List[int]
+
+
+class HierarchicalCounters(CounterBlock):
+    """Work counters for the §4 multi-level index.
+
+    Always counted with plain integer adds; the engine layer diffs the
+    block per maintenance/answering stage and publishes the deltas as
+    ``hier.maintain.*`` / ``hier.answer.*`` metrics when instrumentation
+    is on.
+    """
+
+    FIELDS = (
+        "nodes_visited",
+        "cells_pruned",
+        "leaves_scanned",
+        "objects_scanned",
+        "splits",
+        "collapses",
+        "overhaul_calls",
+        "overhaul_rescans",
+        "incremental_calls",
+        "incremental_fallbacks",
+    )
+    __slots__ = FIELDS
 
 
 class _SubGrid:
@@ -115,6 +141,8 @@ class HierarchicalObjectIndex:
         self.max_cell_load = max_cell_load
         self.split_factor = split_factor
         self.max_depth = max_depth
+        self.counters = HierarchicalCounters()
+        self.tracer = NULL_TRACER
         top = max(1, int(round(1.0 / delta0)))
         self._root = _SubGrid(0.0, 0.0, 1.0 / top, top, depth=0)
         self._x: List[float] = []
@@ -169,6 +197,7 @@ class HierarchicalObjectIndex:
         """Split an overflowing leaf slot into an ``m x m`` sub-grid."""
         bucket = node.slots[idx]
         assert isinstance(bucket, list)
+        self.counters.splits += 1
         m = self.split_factor
         xlo, ylo, _, _ = node.slot_bounds(idx)
         child = _SubGrid(
@@ -196,6 +225,7 @@ class HierarchicalObjectIndex:
         """Collapse an underfull child sub-grid back into a leaf."""
         child = node.slots[idx]
         assert isinstance(child, _SubGrid)
+        self.counters.collapses += 1
         gathered: _Bucket = []
         stack = [child]
         while stack:
@@ -390,6 +420,8 @@ class HierarchicalObjectIndex:
         side = node.cell_side
         x0 = node.x0
         y0 = node.y0
+        counters = self.counters
+        counters.nodes_visited += 1
         # Only the slots whose cells intersect the bounding box of the
         # circle can intersect the circle; restrict the loop to that
         # sub-rectangle instead of sweeping all m*m slots.
@@ -421,10 +453,13 @@ class HierarchicalObjectIndex:
                     qx, qy, xlo, ylo, xlo + side, ylo + side
                 )
                 if d2 > radius2 or (answers.full and d2 >= answers.worst_dist2):
+                    counters.cells_pruned += 1
                     continue
                 if isinstance(slot, _SubGrid):
                     self._scan_region(slot, qx, qy, radius2, answers)
                 else:
+                    counters.leaves_scanned += 1
+                    counters.objects_scanned += len(slot)
                     for object_id in slot:
                         dx = xs[object_id] - qx
                         dy = ys[object_id] - qy
@@ -441,6 +476,8 @@ class HierarchicalObjectIndex:
             raise IndexStateError("knn_overhaul() requires a prior build()")
         if k > self.n_objects:
             raise NotEnoughObjectsError(k, self.n_objects)
+        counters = self.counters
+        counters.overhaul_calls += 1
         # Initial radius: the side of the leaf containing q, a density-aware
         # starting point (small in dense areas, large in sparse ones).
         node = self._root
@@ -452,9 +489,18 @@ class HierarchicalObjectIndex:
                 break
         radius = node.cell_side
         limit = math.sqrt(2.0)  # circumscribes the unit square from any point
+        first = True
         while True:
+            if not first:
+                counters.overhaul_rescans += 1
+            first = False
             answers = AnswerList(k)
-            self._scan_region(self._root, qx, qy, radius * radius, answers)
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("region_scan"):
+                    self._scan_region(self._root, qx, qy, radius * radius, answers)
+            else:
+                self._scan_region(self._root, qx, qy, radius * radius, answers)
             if answers.full:
                 worst = math.sqrt(answers.worst_dist2)
                 if worst <= radius:
@@ -477,8 +523,11 @@ class HierarchicalObjectIndex:
         """
         if not self._built:
             raise IndexStateError("knn_incremental() requires a prior build()")
+        counters = self.counters
+        counters.incremental_calls += 1
         n = self.n_objects
         if len(previous_ids) < k or any(not 0 <= p < n for p in previous_ids):
+            counters.incremental_fallbacks += 1
             return self.knn_overhaul(qx, qy, k)
         xs = self._x
         ys = self._y
@@ -490,8 +539,14 @@ class HierarchicalObjectIndex:
             if d2 > worst2:
                 worst2 = d2
         answers = AnswerList(k)
-        self._scan_region(self._root, qx, qy, worst2, answers)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("region_scan"):
+                self._scan_region(self._root, qx, qy, worst2, answers)
+        else:
+            self._scan_region(self._root, qx, qy, worst2, answers)
         if len(answers) < k:  # pragma: no cover - defensive
+            counters.incremental_fallbacks += 1
             return self.knn_overhaul(qx, qy, k)
         return answers
 

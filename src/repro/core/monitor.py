@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError, IndexStateError
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..rtree.rtree import RTree
 from .answers import AnswerList, QueryAnswer
 from .brute import brute_force_knn
@@ -62,10 +64,21 @@ class BaseEngine(abc.ABC):
         self.k = k
         self.queries = _as_queries(queries)
         self._positions: Optional[np.ndarray] = None
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.tracer = NULL_TRACER
 
     @property
     def n_queries(self) -> int:
         return len(self.queries)
+
+    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
+        """Attach a metrics sink and tracer (no-op instances by default).
+
+        Subclasses propagate the tracer into their index structures so
+        algorithm-level spans nest under the cycle-level ones.
+        """
+        self.metrics = registry
+        self.tracer = tracer
 
     def set_queries(self, queries: np.ndarray) -> None:
         """Replace the query positions (queries may move between cycles).
@@ -133,9 +146,15 @@ class ObjectIndexingEngine(BaseEngine):
             return ObjectIndex(delta=self._delta)
         return ObjectIndex(n_objects=max(1, n_objects))
 
+    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
+        super().bind_observability(registry, tracer)
+        if self.index is not None:
+            self.index.tracer = tracer
+
     def load(self, positions: np.ndarray) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         self.index = self._make_index(len(positions))
+        self.index.tracer = self.tracer
         self.index.build(positions)
         self._positions = positions
         self._previous_ids = [[] for _ in range(self.n_queries)]
@@ -146,13 +165,17 @@ class ObjectIndexingEngine(BaseEngine):
         positions = np.asarray(positions, dtype=np.float64)
         if self.maintenance == "rebuild" or len(positions) != self.index.n_objects:
             self.index.build(positions)
+            self.metrics.inc("oi.maintain.rebuilds")
         else:
-            self.index.update(positions)
+            moves = self.index.update(positions)
+            self.metrics.inc("oi.maintain.moves", moves)
         self._positions = positions
 
     def answer(self) -> List[AnswerList]:
         if self.index is None:
             raise IndexStateError("load() must run before answer()")
+        metrics = self.metrics
+        before = self.index.counters.snapshot() if metrics.enabled else None
         answers: List[AnswerList] = []
         for query_id, (qx, qy) in enumerate(self.queries):
             if self.answering == "incremental" and self._previous_ids[query_id]:
@@ -163,6 +186,9 @@ class ObjectIndexingEngine(BaseEngine):
                 answer = self.index.knn_overhaul(qx, qy, self.k)
             self._previous_ids[query_id] = answer.object_ids()
             answers.append(answer)
+        if before is not None:
+            for name, delta in self.index.counters.diff(before).items():
+                metrics.inc(f"oi.answer.{name}", delta)
         return answers
 
 
@@ -189,6 +215,11 @@ class QueryIndexingEngine(BaseEngine):
         self.index: Optional[QueryIndex] = None
         self._pending_answers: Optional[List[AnswerList]] = None
 
+    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
+        super().bind_observability(registry, tracer)
+        if self.index is not None:
+            self.index.tracer = tracer
+
     def load(self, positions: np.ndarray) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         if self._ncells is not None:
@@ -199,6 +230,8 @@ class QueryIndexingEngine(BaseEngine):
             self.index = QueryIndex(
                 self.queries, self.k, n_objects=max(1, len(positions))
             )
+        self.index.tracer = self.tracer
+        self.metrics.inc("qi.maintain.bootstraps")
         self._pending_answers = self.index.bootstrap(positions)
         self._positions = positions
 
@@ -207,11 +240,34 @@ class QueryIndexingEngine(BaseEngine):
             raise IndexStateError("load() must run before maintain()")
         positions = np.asarray(positions, dtype=np.float64)
         self._pending_answers = None
+        metrics = self.metrics
         if self.maintenance == "rebuild":
             self.index.rebuild_index(positions)
+            metrics.inc("qi.maintain.rect_rebuilds")
         else:
-            self.index.update_index(positions)
+            ops = self.index.update_index(positions)
+            metrics.inc("qi.maintain.rect_ops", ops)
+        if metrics.enabled:
+            metrics.set_gauge("qi.rect_cells_mean", self.index.mean_rect_cells())
         self._positions = positions
+
+    def _count_offers(self) -> int:
+        """Total (object, query) distance offers of one Fig. 5 scan.
+
+        Computed vectorized from the cell occupancies and query-list
+        lengths — the hot loop itself stays uninstrumented.
+        """
+        assert self.index is not None and self._positions is not None
+        n = self.index.grid.ncells
+        positions = self._positions
+        ii = np.clip((positions[:, 0] * n).astype(np.intp), 0, n - 1)
+        jj = np.clip((positions[:, 1] * n).astype(np.intp), 0, n - 1)
+        ql_len = np.fromiter(
+            (len(bucket) for bucket in self.index.grid._buckets),
+            dtype=np.int64,
+            count=n * n,
+        )
+        return int(ql_len[jj * n + ii].sum())
 
     def answer(self) -> List[AnswerList]:
         if self.index is None or self._positions is None:
@@ -221,6 +277,10 @@ class QueryIndexingEngine(BaseEngine):
             answers = self._pending_answers
             self._pending_answers = None
             return answers
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("qi.answer.objects_scanned", len(self._positions))
+            metrics.inc("qi.answer.offers", self._count_offers())
         return self.index.answer(self._positions)
 
     def set_queries(self, queries: np.ndarray) -> None:
@@ -262,6 +322,10 @@ class HierarchicalEngine(BaseEngine):
         )
         self._previous_ids: List[List[int]] = [[] for _ in range(self.n_queries)]
 
+    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
+        super().bind_observability(registry, tracer)
+        self.index.tracer = tracer
+
     def load(self, positions: np.ndarray) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         self.index.build(positions)
@@ -270,13 +334,22 @@ class HierarchicalEngine(BaseEngine):
 
     def maintain(self, positions: np.ndarray) -> None:
         positions = np.asarray(positions, dtype=np.float64)
+        metrics = self.metrics
+        before = self.index.counters.snapshot() if metrics.enabled else None
         if self.maintenance == "rebuild" or len(positions) != self.index.n_objects:
             self.index.build(positions)
+            metrics.inc("hier.maintain.rebuilds")
         else:
-            self.index.update(positions)
+            moves = self.index.update(positions)
+            metrics.inc("hier.maintain.moves", moves)
+        if before is not None:
+            for name, delta in self.index.counters.diff(before).items():
+                metrics.inc(f"hier.maintain.{name}", delta)
         self._positions = positions
 
     def answer(self) -> List[AnswerList]:
+        metrics = self.metrics
+        before = self.index.counters.snapshot() if metrics.enabled else None
         answers: List[AnswerList] = []
         for query_id, (qx, qy) in enumerate(self.queries):
             if self.answering == "incremental" and self._previous_ids[query_id]:
@@ -287,6 +360,9 @@ class HierarchicalEngine(BaseEngine):
                 answer = self.index.knn_overhaul(qx, qy, self.k)
             self._previous_ids[query_id] = answer.object_ids()
             answers.append(answer)
+        if before is not None:
+            for name, delta in self.index.counters.diff(before).items():
+                metrics.inc(f"hier.answer.{name}", delta)
         return answers
 
 
@@ -341,17 +417,29 @@ class RTreeEngine(BaseEngine):
         positions = np.asarray(positions, dtype=np.float64)
         if self.maintenance == "overhaul":
             self._rebuild_by_insertion(positions)
+            self.metrics.inc("rtree.maintain.rebuilds")
         elif self.maintenance == "str_bulk" or len(positions) != len(self.index):
             self.index.bulk_load(positions)
+            self.metrics.inc("rtree.maintain.rebuilds")
         else:
             xs = positions[:, 0].tolist()
             ys = positions[:, 1].tolist()
             for object_id in range(len(positions)):
                 self.index.update_bottom_up(object_id, xs[object_id], ys[object_id])
+            self.metrics.inc("rtree.maintain.updates", len(positions))
         self._positions = positions
 
     def answer(self) -> List[AnswerList]:
-        return [self.index.knn(qx, qy, self.k) for qx, qy in self.queries]
+        metrics = self.metrics
+        # Overhaul maintenance replaces the tree (and its counter block)
+        # every cycle, so the diff baseline is taken from the *current*
+        # index right before answering.
+        before = self.index.counters.snapshot() if metrics.enabled else None
+        answers = [self.index.knn(qx, qy, self.k) for qx, qy in self.queries]
+        if before is not None:
+            for name, delta in self.index.counters.diff(before).items():
+                metrics.inc(f"rtree.answer.{name}", delta)
+        return answers
 
 
 class BruteForceEngine(BaseEngine):
@@ -368,6 +456,9 @@ class BruteForceEngine(BaseEngine):
     def answer(self) -> List[AnswerList]:
         if self._positions is None:
             raise IndexStateError("load() must run before answer()")
+        self.metrics.inc(
+            "brute.answer.objects_scanned", len(self._positions) * self.n_queries
+        )
         answers: List[AnswerList] = []
         for qx, qy in self.queries:
             answer = AnswerList(self.k)
@@ -381,15 +472,42 @@ class BruteForceEngine(BaseEngine):
 
 @dataclass(frozen=True)
 class CycleStats:
-    """Timing breakdown of one monitoring cycle (seconds)."""
+    """Timing breakdown of one monitoring cycle (seconds).
+
+    ``counters`` holds the per-cycle metric deltas (spans included) when
+    the system runs with a :class:`~repro.obs.registry.MetricsRegistry`;
+    it stays ``None`` on uninstrumented runs.  Existing positional callers
+    are unaffected — the field has a default.
+    """
 
     timestamp: float
     index_time: float
     answer_time: float
+    counters: Optional[Mapping[str, float]] = field(default=None, compare=False)
 
     @property
     def total_time(self) -> float:
         return self.index_time + self.answer_time
+
+    @staticmethod
+    def mean_of(
+        history: Sequence["CycleStats"], skip_first: bool = True
+    ) -> "tuple[float, float, int]":
+        """``(mean index_time, mean answer_time, cycles averaged)``.
+
+        The single source of truth for steady-state cycle means; the bench
+        layer's ``CycleTiming`` derives from it.  The initial build cycle
+        is excluded by default.
+        """
+        stats = history[1:] if skip_first and len(history) > 1 else list(history)
+        if not stats:
+            raise IndexStateError("no cycle has run yet")
+        cycles = len(stats)
+        return (
+            sum(s.index_time for s in stats) / cycles,
+            sum(s.answer_time for s in stats) / cycles,
+            cycles,
+        )
 
 
 class MonitoringSystem:
@@ -399,7 +517,12 @@ class MonitoringSystem:
     snapshot, then call :meth:`tick` once per cycle with each new snapshot.
     """
 
-    def __init__(self, engine: BaseEngine, tau: float = 1.0) -> None:
+    def __init__(
+        self,
+        engine: BaseEngine,
+        tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if tau <= 0.0:
             raise ConfigurationError(f"tau must be > 0, got {tau}")
         self.engine = engine
@@ -407,6 +530,11 @@ class MonitoringSystem:
         self.cycle = 0
         self.history: List[CycleStats] = []
         self._loaded = False
+        self.registry: MetricsRegistry = (
+            registry if registry is not None else NULL_REGISTRY
+        )
+        self.tracer = Tracer(self.registry) if self.registry.enabled else NULL_TRACER
+        engine.bind_observability(self.registry, self.tracer)
 
     # ------------------------------------------------------------------
     # Factories, one per paper method
@@ -419,11 +547,13 @@ class MonitoringSystem:
         maintenance: str = "rebuild",
         answering: str = "overhaul",
         tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
         **grid_kwargs,
     ) -> "MonitoringSystem":
         return cls(
             ObjectIndexingEngine(k, queries, maintenance, answering, **grid_kwargs),
             tau=tau,
+            registry=registry,
         )
 
     @classmethod
@@ -433,9 +563,14 @@ class MonitoringSystem:
         queries: np.ndarray,
         maintenance: str = "incremental",
         tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
         **grid_kwargs,
     ) -> "MonitoringSystem":
-        return cls(QueryIndexingEngine(k, queries, maintenance, **grid_kwargs), tau=tau)
+        return cls(
+            QueryIndexingEngine(k, queries, maintenance, **grid_kwargs),
+            tau=tau,
+            registry=registry,
+        )
 
     @classmethod
     def hierarchical(
@@ -445,11 +580,13 @@ class MonitoringSystem:
         maintenance: str = "incremental",
         answering: str = "incremental",
         tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
         **hier_kwargs,
     ) -> "MonitoringSystem":
         return cls(
             HierarchicalEngine(k, queries, maintenance, answering, **hier_kwargs),
             tau=tau,
+            registry=registry,
         )
 
     @classmethod
@@ -459,15 +596,24 @@ class MonitoringSystem:
         queries: np.ndarray,
         maintenance: str = "overhaul",
         tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
         **rtree_kwargs,
     ) -> "MonitoringSystem":
-        return cls(RTreeEngine(k, queries, maintenance, **rtree_kwargs), tau=tau)
+        return cls(
+            RTreeEngine(k, queries, maintenance, **rtree_kwargs),
+            tau=tau,
+            registry=registry,
+        )
 
     @classmethod
     def brute_force(
-        cls, k: int, queries: np.ndarray, tau: float = 1.0
+        cls,
+        k: int,
+        queries: np.ndarray,
+        tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "MonitoringSystem":
-        return cls(BruteForceEngine(k, queries), tau=tau)
+        return cls(BruteForceEngine(k, queries), tau=tau, registry=registry)
 
     @classmethod
     def fast_grid(
@@ -475,6 +621,7 @@ class MonitoringSystem:
         k: int,
         queries: np.ndarray,
         tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
         **grid_kwargs,
     ) -> "MonitoringSystem":
         """Vectorized CSR-grid engine with batched multi-query answering.
@@ -486,7 +633,7 @@ class MonitoringSystem:
         """
         from .fast_index import FastGridEngine
 
-        return cls(FastGridEngine(k, queries, **grid_kwargs), tau=tau)
+        return cls(FastGridEngine(k, queries, **grid_kwargs), tau=tau, registry=registry)
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -510,15 +657,22 @@ class MonitoringSystem:
 
     def load(self, positions: np.ndarray) -> List[QueryAnswer]:
         """Take the initial snapshot, build the index, answer once."""
+        registry = self.registry
+        before = registry.counter_values() if registry.enabled else None
         start = time.perf_counter()
-        self.engine.load(positions)
+        with self.tracer.span("load"):
+            self.engine.load(positions)
         index_time = time.perf_counter() - start
         start = time.perf_counter()
-        answers = self.engine.answer()
+        with self.tracer.span("answer"):
+            answers = self.engine.answer()
         answer_time = time.perf_counter() - start
+        counters = registry.counters_since(before) if before is not None else None
         self.cycle = 0
-        self.history = [CycleStats(0.0, index_time, answer_time)]
+        self.history = [CycleStats(0.0, index_time, answer_time, counters)]
         self._loaded = True
+        registry.inc("cycle.count")
+        registry.observe("cycle.total_seconds", index_time + answer_time)
         return self._package(answers, 0.0)
 
     def tick(self, positions: np.ndarray) -> List[QueryAnswer]:
@@ -527,13 +681,20 @@ class MonitoringSystem:
             raise IndexStateError("load() must run before tick()")
         self.cycle += 1
         timestamp = self.cycle * self.tau
+        registry = self.registry
+        before = registry.counter_values() if registry.enabled else None
         start = time.perf_counter()
-        self.engine.maintain(positions)
+        with self.tracer.span("maintain"):
+            self.engine.maintain(positions)
         index_time = time.perf_counter() - start
         start = time.perf_counter()
-        answers = self.engine.answer()
+        with self.tracer.span("answer"):
+            answers = self.engine.answer()
         answer_time = time.perf_counter() - start
-        self.history.append(CycleStats(timestamp, index_time, answer_time))
+        counters = registry.counters_since(before) if before is not None else None
+        self.history.append(CycleStats(timestamp, index_time, answer_time, counters))
+        registry.inc("cycle.count")
+        registry.observe("cycle.total_seconds", index_time + answer_time)
         return self._package(answers, timestamp)
 
     def _package(
@@ -552,7 +713,5 @@ class MonitoringSystem:
 
     def mean_cycle_time(self, skip_first: bool = True) -> float:
         """Average total cycle time, by default excluding the initial build."""
-        stats = self.history[1:] if skip_first and len(self.history) > 1 else self.history
-        if not stats:
-            raise IndexStateError("no cycle has run yet")
-        return sum(s.total_time for s in stats) / len(stats)
+        index_mean, answer_mean, _ = CycleStats.mean_of(self.history, skip_first)
+        return index_mean + answer_mean

@@ -32,7 +32,30 @@ from ..grid.geometry import (
     rect_paper_rcrit,
 )
 from ..grid.grid2d import Grid2D, resolve_grid_size
+from ..obs.counters import CounterBlock
+from ..obs.tracing import NULL_TRACER
 from .answers import AnswerList
+
+
+class ObjectIndexCounters(CounterBlock):
+    """Work counters for the §3.1/§3.2 query paths.
+
+    Always counted (plain integer adds, at most one per cell visited);
+    the engine layer diffs the block per cycle and publishes the deltas
+    as ``oi.answer.*`` metrics when instrumentation is on.
+    """
+
+    FIELDS = (
+        "cells_visited",
+        "cells_pruned",
+        "objects_scanned",
+        "overhaul_calls",
+        "incremental_calls",
+        "incremental_fallbacks",
+        "r0_rings",
+        "r0_objects",
+    )
+    __slots__ = FIELDS
 
 
 class ObjectIndex:
@@ -72,6 +95,8 @@ class ObjectIndex:
         self.sorted_cells = sorted_cells
         self.strict_paper_rcrit = strict_paper_rcrit
         self.prune_cells = prune_cells
+        self.counters = ObjectIndexCounters()
+        self.tracer = NULL_TRACER
         self._x: List[float] = []
         self._y: List[float] = []
         self._cell_flat: Optional[np.ndarray] = None
@@ -182,6 +207,8 @@ class ObjectIndex:
         xs = self._x
         ys = self._y
         prune = self.prune_cells
+        counters = self.counters
+        counters.cells_visited += rect.ncells
         for j in range(rect.jlo, rect.jhi + 1):
             base = j * n
             for i in range(rect.ilo, rect.ihi + 1):
@@ -190,7 +217,9 @@ class ObjectIndex:
                     continue
                 if prune and answers.full:
                     if min_dist2_point_cell(qx, qy, i, j, delta) >= answers.worst_dist2:
+                        counters.cells_pruned += 1
                         continue
+                counters.objects_scanned += len(bucket)
                 for object_id in bucket:
                     dx = xs[object_id] - qx
                     dy = ys[object_id] - qy
@@ -225,6 +254,9 @@ class ObjectIndex:
                     dy = ys[object_id] - qy
                     seen.append(dx * dx + dy * dy)
             level += 1
+        counters = self.counters
+        counters.r0_rings += level - 1  # rings beyond the home cell
+        counters.r0_objects += len(seen)
         seen.sort()
         return math.sqrt(seen[k - 1])
 
@@ -233,10 +265,37 @@ class ObjectIndex:
             return rect_paper_rcrit(qx, qy, radius, self.grid.delta, self.grid.ncells)
         return rect_for_radius(qx, qy, radius, self.grid.delta, self.grid.ncells)
 
+    def _incremental_lcrit(
+        self, qx: float, qy: float, previous_ids: Sequence[int]
+    ) -> float:
+        """Distance to the farthest new position of the previous k-NNs."""
+        xs = self._x
+        ys = self._y
+        worst2 = 0.0
+        for object_id in previous_ids:
+            dx = xs[object_id] - qx
+            dy = ys[object_id] - qy
+            d2 = dx * dx + dy * dy
+            if d2 > worst2:
+                worst2 = d2
+        return math.sqrt(worst2)
+
     def knn_overhaul(self, qx: float, qy: float, k: int) -> AnswerList:
         """Exact k-NN from scratch (paper Fig. 3)."""
         if not self._built:
             raise IndexStateError("knn_overhaul() requires a prior build()")
+        self.counters.overhaul_calls += 1
+        tracer = self.tracer
+        # Per-query path: a disabled tracer must cost one attribute check,
+        # not a null context manager per stage.
+        if tracer.enabled:
+            with tracer.span("r0_growth"):
+                lcrit = self._critical_radius_overhaul(qx, qy, k)
+            rect = self._rect_for(qx, qy, lcrit)
+            answers = AnswerList(k)
+            with tracer.span("rcrit_scan"):
+                self._scan_rect_into(qx, qy, rect, answers)
+            return answers
         lcrit = self._critical_radius_overhaul(qx, qy, k)
         rect = self._rect_for(qx, qy, lcrit)
         answers = AnswerList(k)
@@ -256,23 +315,27 @@ class ObjectIndex:
         """
         if not self._built:
             raise IndexStateError("knn_incremental() requires a prior build()")
+        counters = self.counters
+        counters.incremental_calls += 1
         n = self.n_objects
         if len(previous_ids) < k or any(not 0 <= p < n for p in previous_ids):
+            counters.incremental_fallbacks += 1
             return self.knn_overhaul(qx, qy, k)
-        xs = self._x
-        ys = self._y
-        worst2 = 0.0
-        for object_id in previous_ids:
-            dx = xs[object_id] - qx
-            dy = ys[object_id] - qy
-            d2 = dx * dx + dy * dy
-            if d2 > worst2:
-                worst2 = d2
-        lcrit = math.sqrt(worst2)
-        rect = self._rect_for(qx, qy, lcrit)
-        answers = AnswerList(k)
-        self._scan_rect_into(qx, qy, rect, answers)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("lcrit"):
+                lcrit = self._incremental_lcrit(qx, qy, previous_ids)
+            rect = self._rect_for(qx, qy, lcrit)
+            answers = AnswerList(k)
+            with tracer.span("rcrit_scan"):
+                self._scan_rect_into(qx, qy, rect, answers)
+        else:
+            lcrit = self._incremental_lcrit(qx, qy, previous_ids)
+            rect = self._rect_for(qx, qy, lcrit)
+            answers = AnswerList(k)
+            self._scan_rect_into(qx, qy, rect, answers)
         if len(answers) < k:  # pragma: no cover - defensive; cannot happen
+            counters.incremental_fallbacks += 1
             return self.knn_overhaul(qx, qy, k)
         return answers
 

@@ -27,6 +27,7 @@ import numpy as np
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
 from ..grid.geometry import CellRect, rect_for_radius
 from ..grid.grid2d import Grid2D, resolve_grid_size
+from ..obs.tracing import NULL_TRACER
 from .answers import AnswerList
 from .object_index import ObjectIndex
 
@@ -59,6 +60,7 @@ class QueryIndex:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = k
+        self.tracer = NULL_TRACER
         self.grid = Grid2D(resolve_grid_size(ncells, delta, n_objects))
         self._qx: List[float] = queries[:, 0].tolist()
         self._qy: List[float] = queries[:, 1].tolist()
@@ -105,20 +107,22 @@ class QueryIndex:
         positions = np.asarray(positions, dtype=np.float64)
         if self.k > len(positions):
             raise NotEnoughObjectsError(self.k, len(positions))
-        if object_index is None:
-            object_index = ObjectIndex(n_objects=len(positions))
-            object_index.build(positions)
-        elif not object_index.built:
-            object_index.build(positions)
-        answers: List[AnswerList] = []
-        for query_id in range(self.n_queries):
-            answer = object_index.knn_overhaul(
-                self._qx[query_id], self._qy[query_id], self.k
-            )
-            answers.append(answer)
-            self._prev_ids[query_id] = answer.object_ids()
-        self._bootstrapped = True
-        self.rebuild_index(positions)
+        with self.tracer.span("bootstrap"):
+            if object_index is None:
+                object_index = ObjectIndex(n_objects=len(positions))
+                object_index.tracer = self.tracer
+                object_index.build(positions)
+            elif not object_index.built:
+                object_index.build(positions)
+            answers: List[AnswerList] = []
+            for query_id in range(self.n_queries):
+                answer = object_index.knn_overhaul(
+                    self._qx[query_id], self._qy[query_id], self.k
+                )
+                answers.append(answer)
+                self._prev_ids[query_id] = answer.object_ids()
+            self._bootstrapped = True
+            self.rebuild_index(positions)
         return answers
 
     # ------------------------------------------------------------------
@@ -153,13 +157,14 @@ class QueryIndex:
         """Overhaul maintenance: recompute every rectangle, rebuild the grid."""
         positions = np.asarray(positions, dtype=np.float64)
         xs, ys = self._check_population(positions)
-        grid = self.grid
-        grid.clear()
-        for query_id in range(self.n_queries):
-            rect = self._new_rect(query_id, xs, ys)
-            self._rects[query_id] = rect
-            for i, j in rect.cells():
-                grid.insert(query_id, i, j)
+        with self.tracer.span("rect_rebuild"):
+            grid = self.grid
+            grid.clear()
+            for query_id in range(self.n_queries):
+                rect = self._new_rect(query_id, xs, ys)
+                self._rects[query_id] = rect
+                for i, j in rect.cells():
+                    grid.insert(query_id, i, j)
 
     def update_index(self, positions: np.ndarray) -> int:
         """Incremental maintenance: apply only rectangle differences.
@@ -170,6 +175,11 @@ class QueryIndex:
         """
         positions = np.asarray(positions, dtype=np.float64)
         xs, ys = self._check_population(positions)
+        with self.tracer.span("rect_update"):
+            ops = self._apply_rect_diffs(xs, ys)
+        return ops
+
+    def _apply_rect_diffs(self, xs: List[float], ys: List[float]) -> int:
         grid = self.grid
         ops = 0
         for query_id in range(self.n_queries):
@@ -214,16 +224,17 @@ class QueryIndex:
         qy = self._qy
         buckets = self.grid._buckets
         answers = [AnswerList(self.k) for _ in range(self.n_queries)]
-        for object_id, cell in enumerate(flat):
-            bucket = buckets[cell]
-            if not bucket:
-                continue
-            x = xs[object_id]
-            y = ys[object_id]
-            for query_id in bucket:
-                dx = qx[query_id] - x
-                dy = qy[query_id] - y
-                answers[query_id].offer(dx * dx + dy * dy, object_id)
+        with self.tracer.span("object_scan"):
+            for object_id, cell in enumerate(flat):
+                bucket = buckets[cell]
+                if not bucket:
+                    continue
+                x = xs[object_id]
+                y = ys[object_id]
+                for query_id in bucket:
+                    dx = qx[query_id] - x
+                    dy = qy[query_id] - y
+                    answers[query_id].offer(dx * dx + dy * dy, object_id)
         # The critical region construction guarantees >= k objects per
         # query; fall back defensively if that invariant is ever violated.
         for query_id, answer in enumerate(answers):

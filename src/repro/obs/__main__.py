@@ -1,0 +1,74 @@
+"""CLI: run a short instrumented monitoring session and report.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.obs --method object_overhaul --cycles 5
+    PYTHONPATH=src python -m repro.obs --method fast_grid --jsonl run.jsonl
+    PYTHONPATH=src python -m repro.obs --validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Instrumented monitoring run: cycle report + optional exports.",
+    )
+    parser.add_argument("--method", default="object_overhaul",
+                        help="bench method name (see repro.bench.runner)")
+    parser.add_argument("--np", dest="n_objects", type=int, default=2000)
+    parser.add_argument("--nq", dest="n_queries", type=int, default=32)
+    parser.add_argument("-k", type=int, default=8)
+    parser.add_argument("--cycles", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="write the per-cycle event log here")
+    parser.add_argument("--prometheus", metavar="PATH",
+                        help="write a Prometheus text dump here")
+    parser.add_argument("--validate", action="store_true",
+                        help="also run the cost-model validation check")
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from ..bench.runner import make_system
+    from .export import cycle_report, prometheus_text, write_history_jsonl
+    from .registry import MetricsRegistry
+    from .validate import run_validation
+
+    rng = np.random.default_rng(args.seed)
+    queries = rng.random((args.n_queries, 2))
+    registry = MetricsRegistry()
+    system = make_system(args.method, args.k, queries, registry=registry)
+    system.load(rng.random((args.n_objects, 2)))
+    for _ in range(args.cycles):
+        system.tick(rng.random((args.n_objects, 2)))
+
+    print(cycle_report(system))
+    if args.jsonl:
+        lines = write_history_jsonl(system, args.jsonl)
+        print(f"\nwrote {lines} cycle records to {args.jsonl}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(registry))
+        print(f"wrote Prometheus dump to {args.prometheus}")
+    if args.validate:
+        report = run_validation(
+            n_objects=args.n_objects,
+            n_queries=args.n_queries,
+            k=args.k,
+            seed=args.seed,
+        )
+        print()
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Plain-int counter blocks for the algorithmic hot paths.
+
+The reproduction engines are pure Python; their inner loops cannot afford
+dictionary lookups per cell visited.  A :class:`CounterBlock` subclass is
+a ``__slots__`` struct of integers that the algorithms bump with direct
+attribute adds (one LOAD_FAST + int add per event), independent of whether
+instrumentation is on.  Engines snapshot the block before a stage, diff it
+after, and push the deltas into the
+:class:`~repro.obs.registry.MetricsRegistry` — so the per-event cost never
+depends on the registry at all.
+
+Subclasses declare ``FIELDS`` and set ``__slots__ = FIELDS``::
+
+    class ScanCounters(CounterBlock):
+        FIELDS = ("cells_visited", "objects_scanned")
+        __slots__ = FIELDS
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+
+class CounterBlock:
+    """Base for fixed-field integer counter structs."""
+
+    FIELDS: Tuple[str, ...] = ()
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of every field."""
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Per-field deltas against an earlier :meth:`snapshot` (zeros omitted)."""
+        out: Dict[str, int] = {}
+        get = before.get
+        for field in self.FIELDS:
+            delta = getattr(self, field) - get(field, 0)
+            if delta:
+                out[field] = delta
+        return out
+
+    def reset(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"{type(self).__name__}({body})"

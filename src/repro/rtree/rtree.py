@@ -27,7 +27,20 @@ import numpy as np
 
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
 from ..core.answers import AnswerList
+from ..obs.counters import CounterBlock
 from .node import RNode
+
+
+class RTreeCounters(CounterBlock):
+    """Work counters for the best-first k-NN search.
+
+    Always counted (one integer add per node popped / leaf scanned); the
+    engine layer diffs the block per cycle and publishes the deltas as
+    ``rtree.answer.*`` metrics when instrumentation is on.
+    """
+
+    FIELDS = ("nodes_visited", "leaves_scanned", "objects_scanned")
+    __slots__ = FIELDS
 
 
 class RTree:
@@ -57,6 +70,7 @@ class RTree:
         self._x: Dict[int, float] = {}
         self._y: Dict[int, float] = {}
         self._leaf_of: Dict[int, RNode] = {}
+        self.counters = RTreeCounters()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -381,11 +395,15 @@ class RTree:
         ]
         xs = self._x
         ys = self._y
+        counters = self.counters
         while heap:
             d2, _, node = heapq.heappop(heap)
+            counters.nodes_visited += 1
             if answers.full and d2 >= answers.worst_dist2:
                 break
             if node.leaf:
+                counters.leaves_scanned += 1
+                counters.objects_scanned += len(node.ids)
                 for object_id in node.ids:
                     dx = xs[object_id] - qx
                     dy = ys[object_id] - qy

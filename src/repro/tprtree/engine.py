@@ -92,10 +92,12 @@ class TPREngine(BaseEngine):
                 now,
             )
         self.last_update_count = int(len(stale))
+        self.metrics.inc("tpr.maintain.updates", self.last_update_count)
         self._previous = positions.copy()
         self._positions = positions
 
     def answer(self) -> List[AnswerList]:
+        self.metrics.inc("tpr.answer.queries", self.n_queries)
         return [
             self.index.knn(qx, qy, self.k, self._now) for qx, qy in self.queries
         ]
