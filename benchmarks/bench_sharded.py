@@ -1,0 +1,168 @@
+"""Standalone benchmark: sharded engine worker scaling vs fast grid.
+
+Measures mean per-cycle wall-clock time of the stripe-sharded
+multiprocess engine across worker-pool sizes (workers ∈ {1, 2, 4, 8} by
+default, shards = workers) at several object populations, with the
+single-process ``fast_grid`` engine and the ``workers=0`` serial
+fallback as baselines.  Writes ``BENCH_sharded.json`` so the scaling
+curve can be tracked across commits.
+
+Not collected by pytest (no ``test_`` prefix) — run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py
+    PYTHONPATH=src python benchmarks/bench_sharded.py --np 100000 --workers 1 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Dict, List
+
+from repro.bench.runner import make_system, measure_cycles
+from repro.motion import RandomWalkModel, make_dataset, make_queries
+
+
+def bench_variant(
+    method: str,
+    options: Dict,
+    n_objects: int,
+    n_queries: int,
+    k: int,
+    cycles: int,
+    seed: int,
+    vmax: float,
+) -> Dict:
+    """Mean cycle timings of one engine variant at one population."""
+    positions = make_dataset("uniform", n_objects, seed=seed)
+    queries = make_queries(n_queries, seed=seed + 1)
+    motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
+    system = make_system(method, k, queries, **options)
+    try:
+        timing = measure_cycles(system, positions, motion, cycles=cycles)
+        entry: Dict = {
+            "index_s": timing.index_time,
+            "answer_s": timing.answer_time,
+            "total_s": timing.total_time,
+        }
+        if method == "sharded":
+            entry["respawns"] = system.engine.respawns
+    finally:
+        system.close()
+    return entry
+
+
+def bench_population(
+    n_objects: int,
+    n_queries: int,
+    k: int,
+    workers_sweep: List[int],
+    cycles: int,
+    seed: int,
+    vmax: float,
+) -> Dict:
+    """One row of the benchmark: fast grid + every worker count at NP."""
+    variants: Dict[str, Dict] = {
+        "fast_grid": bench_variant(
+            "fast_grid", {}, n_objects, n_queries, k, cycles, seed, vmax
+        ),
+        "sharded_serial": bench_variant(
+            "sharded",
+            {"workers": 0, "shards": max(workers_sweep)},
+            n_objects, n_queries, k, cycles, seed, vmax,
+        ),
+    }
+    for workers in workers_sweep:
+        variants[f"workers={workers}"] = bench_variant(
+            "sharded",
+            {"workers": workers},
+            n_objects, n_queries, k, cycles, seed, vmax,
+        )
+    lo, hi = min(workers_sweep), max(workers_sweep)
+    return {
+        "np": n_objects,
+        "variants": variants,
+        "speedup_maxw_vs_1w": (
+            variants[f"workers={lo}"]["total_s"]
+            / max(variants[f"workers={hi}"]["total_s"], 1e-12)
+        ),
+    }
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--np",
+        dest="populations",
+        type=int,
+        nargs="+",
+        default=[100_000, 1_000_000],
+        help="object populations to sweep (default: 100000 1000000)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="worker-pool sizes to sweep (default: 1 2 4 8)",
+    )
+    parser.add_argument("--nq", type=int, default=1_000, help="query count")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--cycles", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--vmax", type=float, default=0.005)
+    parser.add_argument(
+        "--out", default="BENCH_sharded.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    runs = []
+    for n_objects in args.populations:
+        started = time.perf_counter()
+        run = bench_population(
+            n_objects, args.nq, args.k, args.workers, args.cycles,
+            args.seed, args.vmax,
+        )
+        runs.append(run)
+        per_worker = ", ".join(
+            f"w{w}={run['variants'][f'workers={w}']['total_s'] * 1e3:.1f}ms"
+            for w in args.workers
+        )
+        print(
+            f"NP={n_objects}: fast_grid "
+            f"{run['variants']['fast_grid']['total_s'] * 1e3:.1f}ms/cycle, "
+            f"{per_worker} [{time.perf_counter() - started:.1f}s]"
+        )
+
+    payload = {
+        "benchmark": "sharded_worker_scaling",
+        "workload": {
+            "nq": args.nq,
+            "k": args.k,
+            "cycles": args.cycles,
+            "seed": args.seed,
+            "vmax": args.vmax,
+            "dataset": "uniform",
+            "workers_sweep": args.workers,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count(),
+        },
+        "runs": runs,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

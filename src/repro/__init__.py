@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from .core import (
+    METHOD_CONFIGS,
     AnswerDelta,
     AnswerList,
     CircleRegion,
@@ -31,6 +32,7 @@ from .core import (
     HierarchicalObjectIndex,
     KNNJoinMonitor,
     KeyedAnswer,
+    MethodConfig,
     MonitoringService,
     MonitoringSystem,
     ObjectIndex,
@@ -42,6 +44,7 @@ from .core import (
     Recommendation,
     RectRegion,
     SelfJoinMonitor,
+    ShardedConfig,
     WorkloadProfile,
     answers_equal,
     brute_force_knn,
@@ -82,6 +85,7 @@ from .obs import (
     write_history_jsonl,
 )
 from .rtree import RTree
+from .shard import ShardedGridEngine
 from .tprtree import TPREngine, TPRTree
 from .viz import density_plot, side_by_side
 
@@ -104,6 +108,8 @@ __all__ = [
     "KNNJoinMonitor",
     "KeyedAnswer",
     "LinearMotionModel",
+    "METHOD_CONFIGS",
+    "MethodConfig",
     "MetricsRegistry",
     "MonitoringService",
     "MonitoringSystem",
@@ -121,6 +127,8 @@ __all__ = [
     "Recommendation",
     "RectRegion",
     "SelfJoinMonitor",
+    "ShardedConfig",
+    "ShardedGridEngine",
     "TPREngine",
     "TPRTree",
     "Tracer",

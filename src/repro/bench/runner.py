@@ -80,61 +80,76 @@ def measure_cycles(
     return CycleTiming.from_history(system.history)
 
 
-# Factories by the method names used throughout the benchmark suite.  Each
-# maps to one line in the paper's figures.
-METHOD_FACTORIES: Dict[str, Callable[..., MonitoringSystem]] = {
-    "object_overhaul": lambda k, q, **kw: MonitoringSystem.object_indexing(
-        k, q, maintenance="rebuild", answering="overhaul", **kw
+# Benchmark method names -> (registry method, preset options).  Each entry
+# maps to one line in the paper's figures; systems are built through the
+# same MethodConfig registry as MonitoringSystem.create, so preset names
+# and caller overrides are validated identically everywhere.
+BENCH_PRESETS: Dict[str, "tuple[str, Dict[str, object]]"] = {
+    "object_overhaul": (
+        "object_indexing", {"maintenance": "rebuild", "answering": "overhaul"}
     ),
-    "object_incremental": lambda k, q, **kw: MonitoringSystem.object_indexing(
-        k, q, maintenance="incremental", answering="incremental", **kw
+    "object_incremental": (
+        "object_indexing", {"maintenance": "incremental", "answering": "incremental"}
     ),
-    "query_indexing": lambda k, q, **kw: MonitoringSystem.query_indexing(
-        k, q, maintenance="incremental", **kw
+    "query_indexing": ("query_indexing", {"maintenance": "incremental"}),
+    "query_indexing_rebuild": ("query_indexing", {"maintenance": "rebuild"}),
+    "hierarchical": (
+        "hierarchical", {"maintenance": "rebuild", "answering": "incremental"}
     ),
-    "query_indexing_rebuild": lambda k, q, **kw: MonitoringSystem.query_indexing(
-        k, q, maintenance="rebuild", **kw
+    "hierarchical_incremental": (
+        "hierarchical", {"maintenance": "incremental", "answering": "incremental"}
     ),
-    "hierarchical": lambda k, q, **kw: MonitoringSystem.hierarchical(
-        k, q, maintenance="rebuild", answering="incremental", **kw
-    ),
-    "hierarchical_incremental": lambda k, q, **kw: MonitoringSystem.hierarchical(
-        k, q, maintenance="incremental", answering="incremental", **kw
-    ),
-    "rtree_overhaul": lambda k, q, **kw: MonitoringSystem.rtree(
-        k, q, maintenance="overhaul", **kw
-    ),
-    "rtree_bottom_up": lambda k, q, **kw: MonitoringSystem.rtree(
-        k, q, maintenance="bottom_up", **kw
-    ),
-    "rtree_str_bulk": lambda k, q, **kw: MonitoringSystem.rtree(
-        k, q, maintenance="str_bulk", **kw
-    ),
-    "brute_force": lambda k, q, **kw: MonitoringSystem.brute_force(k, q, **kw),
-    "tpr_predictive": lambda k, q, **kw: _tpr_system(k, q, **kw),
-    "fast_grid": lambda k, q, **kw: MonitoringSystem.fast_grid(k, q, **kw),
+    "rtree_overhaul": ("rtree", {"maintenance": "overhaul"}),
+    "rtree_bottom_up": ("rtree", {"maintenance": "bottom_up"}),
+    "rtree_str_bulk": ("rtree", {"maintenance": "str_bulk"}),
+    "brute_force": ("brute_force", {}),
+    "tpr_predictive": ("tpr", {}),
+    "fast_grid": ("fast_grid", {}),
+    "sharded": ("sharded", {}),
 }
 
 
-def _tpr_system(
-    k: int,
-    queries: np.ndarray,
-    registry: Optional[MetricsRegistry] = None,
-    **kwargs,
-) -> MonitoringSystem:
-    from ..tprtree import TPREngine
-
-    return MonitoringSystem(TPREngine(k, queries, **kwargs), registry=registry)
-
-
 def make_system(method: str, k: int, queries: np.ndarray, **kwargs) -> MonitoringSystem:
-    """Build a monitoring system by benchmark method name."""
-    try:
-        factory = METHOD_FACTORIES[method]
-    except KeyError:
-        known = ", ".join(sorted(METHOD_FACTORIES))
-        raise ConfigurationError(f"unknown method {method!r}; known: {known}") from None
-    return factory(k, queries, **kwargs)
+    """Build a monitoring system by benchmark method name.
+
+    ``method`` may be a benchmark preset (``object_overhaul``, ...) or any
+    bare registry method name (``object_indexing``, ``sharded``, ...);
+    keyword arguments override the preset's options.
+    """
+    from ..core.config import METHOD_CONFIGS
+
+    if method in BENCH_PRESETS:
+        base, preset = BENCH_PRESETS[method]
+        merged = dict(preset)
+        merged.update(kwargs)
+        return MonitoringSystem.create(base, k, queries, **merged)
+    if method in METHOD_CONFIGS:
+        return MonitoringSystem.create(method, k, queries, **kwargs)
+    known = ", ".join(sorted(set(BENCH_PRESETS) | set(METHOD_CONFIGS)))
+    raise ConfigurationError(f"unknown method {method!r}; known: {known}") from None
+
+
+class _PresetFactories(Mapping):
+    """Read-only ``METHOD_FACTORIES`` view kept for backward compatibility.
+
+    Historic callers index this mapping for a ``(k, queries, **kw)``
+    factory; entries now close over :func:`make_system` so every path
+    goes through the config registry.
+    """
+
+    def __getitem__(self, method: str) -> Callable[..., MonitoringSystem]:
+        if method not in BENCH_PRESETS:
+            raise KeyError(method)
+        return lambda k, q, **kw: make_system(method, k, q, **kw)
+
+    def __iter__(self):
+        return iter(BENCH_PRESETS)
+
+    def __len__(self) -> int:
+        return len(BENCH_PRESETS)
+
+
+METHOD_FACTORIES: Mapping[str, Callable[..., MonitoringSystem]] = _PresetFactories()
 
 
 def measure_method(

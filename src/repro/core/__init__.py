@@ -33,6 +33,18 @@ from .self_join import (
     knn_self_join,
     knn_self_join_incremental,
 )
+from .config import (
+    METHOD_CONFIGS,
+    BruteForceConfig,
+    FastGridConfig,
+    HierarchicalConfig,
+    MethodConfig,
+    ObjectIndexingConfig,
+    QueryIndexingConfig,
+    RTreeConfig,
+    ShardedConfig,
+    TPRConfig,
+)
 from .monitor import (
     BaseEngine,
     BruteForceEngine,
@@ -74,9 +86,19 @@ __all__ = [
     "knn_self_join",
     "knn_self_join_incremental",
     "BaseEngine",
+    "BruteForceConfig",
     "BruteForceEngine",
     "CSRGrid",
     "CycleStats",
+    "FastGridConfig",
+    "HierarchicalConfig",
+    "METHOD_CONFIGS",
+    "MethodConfig",
+    "ObjectIndexingConfig",
+    "QueryIndexingConfig",
+    "RTreeConfig",
+    "ShardedConfig",
+    "TPRConfig",
     "FastGridEngine",
     "StageTimings",
     "HierarchicalEngine",

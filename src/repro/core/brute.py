@@ -41,10 +41,15 @@ def brute_force_knn(
     dy = positions[:, 1] - qy
     d2 = dx * dx + dy * dy
     if k == n:
-        nearest = np.arange(n)
+        candidates = np.arange(n)
     else:
-        nearest = np.argpartition(d2, k - 1)[:k]
-    order = sorted((float(d2[i]), int(i)) for i in nearest)
+        # argpartition picks an arbitrary member of a distance tie that
+        # straddles the k-th cut; widen to every object at the cut
+        # distance so ties are broken by ID, not by partition order.
+        selected = np.argpartition(d2, k - 1)[:k]
+        cut = d2[selected].max()
+        candidates = np.flatnonzero(d2 <= cut)
+    order = sorted((float(d2[i]), int(i)) for i in candidates)[:k]
     return [(object_id, float(np.sqrt(dd))) for dd, object_id in order]
 
 

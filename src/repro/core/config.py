@@ -1,0 +1,227 @@
+"""Typed per-method configuration behind the unified ``create()`` API.
+
+One frozen dataclass per monitoring method holds every tunable that
+method accepts after ``(k, queries)``.  The dataclasses are the single
+source of truth for *which* keyword arguments exist: the
+:meth:`MethodConfig.from_kwargs` constructor rejects unknown names with
+a :class:`~repro.errors.ConfigurationError` that lists the valid fields,
+so a typo like ``ncell=64`` fails loudly instead of being swallowed by a
+``**kwargs`` sink.  Value validation (mode strings, ranges) stays where
+it always was — in the engine constructors — so direct engine users get
+the same errors as ``create()`` users.
+
+:data:`METHOD_CONFIGS` maps public method names to their config classes;
+:func:`make_engine` instantiates the engine for a config (with late
+imports, since the engines import this module's neighbors).  Both
+:meth:`~repro.core.monitor.MonitoringSystem.create` and the benchmark
+layer's ``make_system`` resolve methods through this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar, Dict, Optional, Tuple, Type
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MethodConfig:
+    """Base class for per-method configuration blocks.
+
+    Subclasses are frozen dataclasses whose fields are exactly the
+    keyword arguments the method's factory accepts after ``(k, queries)``
+    (minus the system-level ``tau``/``registry``, which belong to
+    :class:`~repro.core.monitor.MonitoringSystem` itself).
+    """
+
+    #: Public method name, set per subclass (class attribute, not a field).
+    method: ClassVar[str] = ""
+
+    @classmethod
+    def valid_fields(cls) -> Tuple[str, ...]:
+        """Names of the accepted configuration fields, declaration order."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "MethodConfig":
+        """Build a config, rejecting unknown keys with the valid names."""
+        valid = cls.valid_fields()
+        unknown = sorted(set(kwargs) - set(valid))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown option(s) {', '.join(map(repr, unknown))} for method "
+                f"{cls.method!r}; valid fields: {', '.join(valid) or '(none)'}"
+            )
+        return cls(**kwargs)
+
+    def merged(self, **overrides) -> "MethodConfig":
+        """A copy with ``overrides`` applied (unknown keys rejected)."""
+        valid = self.valid_fields()
+        unknown = sorted(set(overrides) - set(valid))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown option(s) {', '.join(map(repr, unknown))} for method "
+                f"{self.method!r}; valid fields: {', '.join(valid) or '(none)'}"
+            )
+        return replace(self, **overrides) if overrides else self
+
+    def _engine_kwargs(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self.valid_fields()}
+
+
+@dataclass(frozen=True)
+class ObjectIndexingConfig(MethodConfig):
+    """One-level grid Object-Indexing (paper §3.1/§3.2)."""
+
+    method = "object_indexing"
+    maintenance: str = "rebuild"
+    answering: str = "overhaul"
+    ncells: Optional[int] = None
+    delta: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class QueryIndexingConfig(MethodConfig):
+    """Grid Query-Indexing (paper §3.3)."""
+
+    method = "query_indexing"
+    maintenance: str = "incremental"
+    ncells: Optional[int] = None
+    delta: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HierarchicalConfig(MethodConfig):
+    """Hierarchical Object-Indexing (paper §4)."""
+
+    method = "hierarchical"
+    maintenance: str = "incremental"
+    answering: str = "incremental"
+    delta0: float = 0.1
+    max_cell_load: int = 10
+    split_factor: int = 3
+
+
+@dataclass(frozen=True)
+class RTreeConfig(MethodConfig):
+    """R-tree baselines (paper §5.4)."""
+
+    method = "rtree"
+    maintenance: str = "overhaul"
+    max_entries: int = 32
+
+
+@dataclass(frozen=True)
+class BruteForceConfig(MethodConfig):
+    """Linear-scan oracle (testing ground truth)."""
+
+    method = "brute_force"
+
+
+@dataclass(frozen=True)
+class FastGridConfig(MethodConfig):
+    """Vectorized CSR grid engine (production fast path)."""
+
+    method = "fast_grid"
+    ncells: Optional[int] = None
+    delta: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TPRConfig(MethodConfig):
+    """Predictive TPR-tree engine (related-work baseline)."""
+
+    method = "tpr"
+    horizon: float = 10.0
+    max_entries: int = 32
+    tau: float = 1.0
+
+
+@dataclass(frozen=True)
+class ShardedConfig(MethodConfig):
+    """Sharded parallel CSR engine (:mod:`repro.shard`)."""
+
+    method = "sharded"
+    workers: int = 2
+    shards: Optional[int] = None
+    seed_slack: float = 0.5
+    task_timeout: float = 60.0
+    heartbeat_every: int = 0
+
+
+#: Public method name -> config class; the single method registry.
+METHOD_CONFIGS: Dict[str, Type[MethodConfig]] = {
+    cfg.method: cfg
+    for cfg in (
+        ObjectIndexingConfig,
+        QueryIndexingConfig,
+        HierarchicalConfig,
+        RTreeConfig,
+        BruteForceConfig,
+        FastGridConfig,
+        TPRConfig,
+        ShardedConfig,
+    )
+}
+
+
+def resolve_config(
+    method: str,
+    config: Optional[MethodConfig] = None,
+    overrides: Optional[Dict[str, object]] = None,
+) -> MethodConfig:
+    """The effective config for ``method``: defaults or ``config``, plus
+    ``overrides``.  Raises :class:`ConfigurationError` on an unknown
+    method, a config of the wrong type, or unknown override names."""
+    cls = METHOD_CONFIGS.get(method)
+    if cls is None:
+        known = ", ".join(sorted(METHOD_CONFIGS))
+        raise ConfigurationError(f"unknown method {method!r}; known: {known}")
+    if config is None:
+        return cls.from_kwargs(**(overrides or {}))
+    if not isinstance(config, cls):
+        raise ConfigurationError(
+            f"config for method {method!r} must be a {cls.__name__}, "
+            f"got {type(config).__name__}"
+        )
+    return config.merged(**(overrides or {}))
+
+
+def make_engine(config: MethodConfig, k: int, queries) -> "object":
+    """Instantiate the engine a config describes (late engine imports)."""
+    kwargs = config._engine_kwargs()
+    method = config.method
+    if method == "object_indexing":
+        from .monitor import ObjectIndexingEngine
+
+        return ObjectIndexingEngine(k, queries, **kwargs)
+    if method == "query_indexing":
+        from .monitor import QueryIndexingEngine
+
+        return QueryIndexingEngine(k, queries, **kwargs)
+    if method == "hierarchical":
+        from .monitor import HierarchicalEngine
+
+        return HierarchicalEngine(k, queries, **kwargs)
+    if method == "rtree":
+        from .monitor import RTreeEngine
+
+        return RTreeEngine(k, queries, **kwargs)
+    if method == "brute_force":
+        from .monitor import BruteForceEngine
+
+        return BruteForceEngine(k, queries)
+    if method == "fast_grid":
+        from .fast_index import FastGridEngine
+
+        return FastGridEngine(k, queries, **kwargs)
+    if method == "tpr":
+        from ..tprtree import TPREngine
+
+        return TPREngine(k, queries, **kwargs)
+    if method == "sharded":
+        from ..shard import ShardedGridEngine
+
+        return ShardedGridEngine(k, queries, **kwargs)
+    raise ConfigurationError(f"no engine wired for method {config.method!r}")

@@ -13,33 +13,45 @@ batched pass, in the spirit of Lettich et al.'s manycore k-NN engine:
   permuted ``xs``/``ys``/``ids`` arrays, so "all objects in cells
   ``(ilo..ihi, j)``" is a single contiguous slice.  A 2-D prefix-sum of
   the cell counts makes "objects inside rectangle R" an O(1) lookup.
-* **Batched answering** (:class:`FastGridEngine`): per-query critical
-  radii come from vectorized ring growth over the prefix-sum (every
-  active query advances one ring per pass, no per-object work); queries
-  are then grouped by home cell with ``np.minimum.reduceat`` /
+* **Batched answering** (:func:`batch_knn`): per-query critical radii
+  come from vectorized ring growth over the prefix-sum (every active
+  query advances one ring per pass, no per-object work); queries are
+  then grouped by home cell with ``np.minimum.reduceat`` /
   ``np.maximum.reduceat`` union rectangles so queries sharing a cell
   share one gather; the exact k-NN of every query falls out of a single
   ``lexsort`` over all (query, candidate) pairs, with ties broken by
   object ID.
+
+Both pieces are *region-aware*: a :class:`CSRGrid` may cover any axis-
+aligned rectangle ``region = (x0, y0, x1, y1)`` with an ``nx x ny`` cell
+layout and carry caller-supplied global object IDs.  That makes the pair
+a reusable per-region snapshot/answer kernel — the sharded engine
+(:mod:`repro.shard`) builds one CSRGrid per spatial stripe and merges the
+per-shard ``batch_knn`` results, while :class:`FastGridEngine` keeps
+using the whole unit square as a single region.
 
 Exactness argument (same as the paper's Fig. 3): the ring growth stops at
 the first rectangle ``R0 = R(cq, l)`` holding at least ``k`` objects, so
 the distance from ``q`` to the farthest corner of ``R0`` bounds the true
 k-th-NN distance; the critical rectangle covers the disc of that radius,
 and the per-query union rectangle only ever *adds* candidate cells.
+Queries may lie outside the grid's region: the home cell clamps to the
+nearest edge cell, which only enlarges ``R0`` (and so the candidate set),
+never shrinks it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import IndexStateError, NotEnoughObjectsError
+from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
 from ..grid.grid2d import resolve_grid_size
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
-from ..obs.tracing import Tracer
+from ..obs.tracing import NULL_TRACER, Tracer
+
 from .answers import AnswerList
 from .monitor import BaseEngine
 
@@ -75,50 +87,82 @@ class StageTimings:
 
 
 class CSRGrid:
-    """A grid snapshot in CSR (compressed sparse row) layout.
+    """A grid snapshot of one rectangular region in CSR layout.
 
     Built in one vectorized pass over a ``(n, 2)`` position array:
 
     ``order``
-        stable argsort of the flat cell IDs ``j * G + i``; doubles as the
-        permuted object-ID array (``ids``).
+        stable argsort of the flat cell IDs ``j * nx + i``; combined with
+        ``object_ids`` it yields the permuted global-ID array (``ids``).
     ``xs``, ``ys``
         positions permuted by ``order`` — objects of one cell, and of one
         row-run of cells, are contiguous.
     ``cell_start``
-        ``(G*G + 1,)`` offsets; cell ``(i, j)`` owns the slice
-        ``[cell_start[j*G+i], cell_start[j*G+i+1])``.
+        ``(nx*ny + 1,)`` offsets; cell ``(i, j)`` owns the slice
+        ``[cell_start[j*nx+i], cell_start[j*nx+i+1])``.
     ``prefix``
-        ``(G+1, G+1)`` summed-area table of cell counts for O(1)
+        ``(ny+1, nx+1)`` summed-area table of cell counts for O(1)
         rectangle population counts.
+
+    ``region = (x0, y0, x1, y1)`` defaults to the unit square and
+    ``ncells`` keeps the legacy square layout (``nx = ny = ncells``);
+    shards pass their stripe bounds plus an ``nx x ny`` layout sized for
+    the stripe's population.  ``object_ids`` maps local row indices to
+    global IDs so downstream tie-breaking stays global.
     """
 
-    __slots__ = ("ncells", "delta", "n_objects", "xs", "ys", "ids", "cell_start", "prefix")
+    __slots__ = (
+        "nx", "ny", "ncells", "region", "dx", "dy", "delta",
+        "n_objects", "xs", "ys", "ids", "cell_start", "prefix",
+    )
 
-    def __init__(self, positions: np.ndarray, ncells: int) -> None:
+    def __init__(
+        self,
+        positions: np.ndarray,
+        ncells: Optional[int] = None,
+        *,
+        region: Tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        nx: Optional[int] = None,
+        ny: Optional[int] = None,
+        object_ids: Optional[np.ndarray] = None,
+    ) -> None:
+        if ncells is not None:
+            nx = ny = int(ncells)
+        if nx is None or ny is None:
+            raise ConfigurationError("specify either ncells= or both nx= and ny=")
+        nx, ny = int(nx), int(ny)
+        if nx < 1 or ny < 1:
+            raise ConfigurationError(f"grid must have >= 1 cell per side, got {nx}x{ny}")
+        x0, y0, x1, y1 = (float(v) for v in region)
+        if not (x1 > x0 and y1 > y0):
+            raise ConfigurationError(f"degenerate region {region!r}")
         positions = np.asarray(positions, dtype=np.float64)
-        n = int(ncells)
-        self.ncells = n
-        self.delta = 1.0 / n
+        self.nx = nx
+        self.ny = ny
+        self.ncells = nx  # legacy alias; square unit-grids keep nx == ny
+        self.region = (x0, y0, x1, y1)
+        self.dx = (x1 - x0) / nx
+        self.dy = (y1 - y0) / ny
+        self.delta = self.dx  # legacy alias
         self.n_objects = len(positions)
         x = np.ascontiguousarray(positions[:, 0])
         y = np.ascontiguousarray(positions[:, 1])
-        ii = np.clip((x * n).astype(np.intp), 0, n - 1)
-        jj = np.clip((y * n).astype(np.intp), 0, n - 1)
-        flat = jj * n + ii
+        ii = np.clip(((x - x0) * (nx / (x1 - x0))).astype(np.intp), 0, nx - 1)
+        jj = np.clip(((y - y0) * (ny / (y1 - y0))).astype(np.intp), 0, ny - 1)
+        flat = jj * nx + ii
         # Introsort beats the stable radix sort ~5x on these keys; the
         # within-cell object order is irrelevant (ties are broken by ID at
         # selection time), so stability is not needed.
         order = np.argsort(flat)
-        self.ids = order
+        self.ids = order if object_ids is None else np.asarray(object_ids)[order]
         self.xs = x[order]
         self.ys = y[order]
-        counts = np.bincount(flat, minlength=n * n)
-        cell_start = np.zeros(n * n + 1, dtype=np.intp)
+        counts = np.bincount(flat, minlength=nx * ny)
+        cell_start = np.zeros(nx * ny + 1, dtype=np.intp)
         np.cumsum(counts, out=cell_start[1:])
         self.cell_start = cell_start
-        prefix = np.zeros((n + 1, n + 1), dtype=np.int64)
-        np.cumsum(np.cumsum(counts.reshape(n, n), axis=0), axis=1, out=prefix[1:, 1:])
+        prefix = np.zeros((ny + 1, nx + 1), dtype=np.int64)
+        np.cumsum(np.cumsum(counts.reshape(ny, nx), axis=0), axis=1, out=prefix[1:, 1:])
         self.prefix = prefix
 
     def count_in_rects(
@@ -129,6 +173,223 @@ class CSRGrid:
         return (
             p[jhi + 1, ihi + 1] - p[jlo, ihi + 1] - p[jhi + 1, ilo] + p[jlo, ilo]
         )
+
+
+@dataclass
+class BatchKNNResult:
+    """Raw output of one :func:`batch_knn` pass over one region.
+
+    ``top_d2``/``top_ids`` are ``(nq, k)`` arrays in the *caller's* query
+    order; when the region holds fewer than ``k`` objects the tail
+    columns are padded with ``inf`` / ``-1``.  ``timings`` maps the
+    answering stages (``radii``/``gather``/``select``) to seconds and
+    ``stats`` carries the algorithmic counters of the pass.
+    """
+
+    top_d2: np.ndarray
+    top_ids: np.ndarray
+    timings: Dict[str, float]
+    stats: Dict[str, int]
+
+
+def _empty_result(nq: int, k: int) -> BatchKNNResult:
+    return BatchKNNResult(
+        np.full((nq, k), np.inf),
+        np.full((nq, k), -1, dtype=np.intp),
+        {"radii": 0.0, "gather": 0.0, "select": 0.0},
+        {"ring_passes": 0, "groups": 0, "candidates": 0, "pairs": 0, "dense": 0},
+    )
+
+
+def batch_knn(
+    csr: CSRGrid,
+    qx: np.ndarray,
+    qy: np.ndarray,
+    k: int,
+    tracer: Tracer = None,
+) -> BatchKNNResult:
+    """Exact batched k-NN of every query against one CSR region snapshot.
+
+    The reusable per-region answering kernel: radii -> gather -> select,
+    all queries at once, ties broken by (distance, global object ID).
+    ``k`` may exceed the region population — the kernel then returns the
+    ``min(k, n_objects)`` nearest and pads the remaining columns with
+    ``inf`` distances and ``-1`` IDs (the sharded merge relies on this).
+    Queries may lie outside the region; their home cell clamps to the
+    nearest edge cell, which preserves exactness (see module docstring).
+    """
+    if tracer is None:
+        tracer = Tracer(NULL_REGISTRY)
+    qx = np.ascontiguousarray(qx, dtype=np.float64)
+    qy = np.ascontiguousarray(qy, dtype=np.float64)
+    nq = len(qx)
+    k = int(k)
+    k_eff = min(k, csr.n_objects)
+    if nq == 0 or k_eff == 0:
+        return _empty_result(nq, k)
+
+    nx, ny = csr.nx, csr.ny
+    x0, y0, x1, y1 = csr.region
+    dx, dy = csr.dx, csr.dy
+
+    # ---- stage: radii -------------------------------------------------
+    with tracer.span("radii") as span_radii:
+        qi = np.clip(((qx - x0) * (nx / (x1 - x0))).astype(np.intp), 0, nx - 1)
+        qj = np.clip(((qy - y0) * (ny / (y1 - y0))).astype(np.intp), 0, ny - 1)
+
+        # Vectorized ring growth: every query still short of k objects
+        # grows its rectangle R(cq, l) by one ring per pass; the
+        # prefix-sum makes each pass O(NQ) with no per-object work.
+        level = np.zeros(nq, dtype=np.intp)
+        counts = csr.count_in_rects(qi, qj, qi, qj)
+        active = counts < k_eff
+        l = 0
+        while active.any():
+            l += 1
+            if l > max(nx, ny):  # pragma: no cover - k_eff <= n_objects makes this unreachable
+                raise NotEnoughObjectsError(k, csr.n_objects)
+            ai, aj = qi[active], qj[active]
+            acounts = csr.count_in_rects(
+                np.maximum(ai - l, 0),
+                np.maximum(aj - l, 0),
+                np.minimum(ai + l, nx - 1),
+                np.minimum(aj + l, ny - 1),
+            )
+            done = acounts >= k_eff
+            idx = np.nonzero(active)[0]
+            level[idx[done]] = l
+            active[idx[done]] = False
+
+        # lcrit: distance from q to the farthest corner of the clamped R0.
+        # R0 holds >= k objects, so the disc (q, lcrit) covers the true k-NN.
+        r0_xlo = x0 + np.maximum(qi - level, 0) * dx
+        r0_ylo = y0 + np.maximum(qj - level, 0) * dy
+        r0_xhi = x0 + (np.minimum(qi + level, nx - 1) + 1) * dx
+        r0_yhi = y0 + (np.minimum(qj + level, ny - 1) + 1) * dy
+        far_dx = np.maximum(qx - r0_xlo, r0_xhi - qx)
+        far_dy = np.maximum(qy - r0_ylo, r0_yhi - qy)
+        lcrit = np.hypot(far_dx, far_dy)
+
+        # Critical rectangle: cells intersecting the bounding box of the disc.
+        ilo = np.clip(np.floor((qx - lcrit - x0) / dx).astype(np.intp), 0, nx - 1)
+        jlo = np.clip(np.floor((qy - lcrit - y0) / dy).astype(np.intp), 0, ny - 1)
+        ihi = np.clip(np.floor((qx + lcrit - x0) / dx).astype(np.intp), 0, nx - 1)
+        jhi = np.clip(np.floor((qy + lcrit - y0) / dy).astype(np.intp), 0, ny - 1)
+
+    # ---- stage: gather ------------------------------------------------
+    with tracer.span("gather") as span_gather:
+        # Group queries by home cell; the group's union rectangle is shared
+        # by every member, so co-located queries share one gather.
+        qflat = qj * nx + qi
+        qorder = np.argsort(qflat, kind="stable")
+        sorted_flat = qflat[qorder]
+        group_start = np.concatenate(
+            ([0], np.nonzero(np.diff(sorted_flat))[0] + 1)
+        )
+        g_ilo = np.minimum.reduceat(ilo[qorder], group_start)
+        g_jlo = np.minimum.reduceat(jlo[qorder], group_start)
+        g_ihi = np.maximum.reduceat(ihi[qorder], group_start)
+        g_jhi = np.maximum.reduceat(jhi[qorder], group_start)
+        group_sizes = np.diff(np.concatenate((group_start, [nq])))
+        ngroups = len(group_start)
+
+        # Expand each group rectangle into row segments: row j of the rect
+        # is one contiguous CSR slice (cells (ilo..ihi, j) have consecutive
+        # flat IDs).
+        rows_per_group = g_jhi - g_jlo + 1
+        seg_group = np.repeat(np.arange(ngroups), rows_per_group)
+        row_cum = np.concatenate(([0], np.cumsum(rows_per_group)))
+        seg_j = g_jlo[seg_group] + (np.arange(row_cum[-1]) - row_cum[seg_group])
+        seg_lo = csr.cell_start[seg_j * nx + g_ilo[seg_group]]
+        seg_hi = csr.cell_start[seg_j * nx + g_ihi[seg_group] + 1]
+        seg_len = seg_hi - seg_lo
+
+        # Flatten the segments into per-group candidate blocks of CSR
+        # indices (block = all objects inside the group's rectangle).
+        ncand = int(seg_len.sum())
+        seg_cum = np.concatenate(([0], np.cumsum(seg_len)))
+        block_idx = (
+            np.repeat(seg_lo - seg_cum[:-1], seg_len) + np.arange(ncand)
+        )
+        cand_per_group = np.bincount(
+            seg_group, weights=seg_len, minlength=ngroups
+        ).astype(np.intp)
+        group_cand_start = np.concatenate(
+            ([0], np.cumsum(cand_per_group))
+        )
+
+        # Expand to (query, candidate) pairs: every query of a group pairs
+        # with the group's whole block.
+        pairs_per_query = cand_per_group[np.repeat(np.arange(ngroups), group_sizes)]
+        npairs = int(pairs_per_query.sum())
+        pair_cum = np.concatenate(([0], np.cumsum(pairs_per_query)))
+        pair_block_start = np.repeat(
+            group_cand_start[:-1], group_sizes * cand_per_group
+        )
+        pair_local = np.arange(npairs) - np.repeat(pair_cum[:-1], pairs_per_query)
+        pair_cand = block_idx[pair_block_start + pair_local]
+        # Query of each pair, in sorted-query positions (0..nq-1).
+        pair_qpos = np.repeat(np.arange(nq), pairs_per_query)
+
+        sqx = qx[qorder]
+        sqy = qy[qorder]
+        pdx = csr.xs[pair_cand] - sqx[pair_qpos]
+        pdy = csr.ys[pair_cand] - sqy[pair_qpos]
+        pair_d2 = pdx * pdx + pdy * pdy
+        pair_ids = csr.ids[pair_cand]
+
+    # ---- stage: select ------------------------------------------------
+    with tracer.span("select") as span_select:
+        maxc = int(pairs_per_query.max())
+        dense = maxc * nq <= max(4 * npairs, DENSE_SELECT_LIMIT)
+        if dense:
+            # Dense path: scatter the ragged pairs into an (nq, maxc)
+            # matrix padded with inf and rank each row by (distance, ID)
+            # with one two-key lexsort — exact k-NN with deterministic
+            # ID tie-breaking, no per-query Python work.
+            dmat = np.full((nq, maxc), np.inf)
+            imat = np.zeros((nq, maxc), dtype=np.intp)
+            within = np.arange(npairs) - np.repeat(
+                pair_cum[:-1], pairs_per_query
+            )
+            dmat[pair_qpos, within] = pair_d2
+            imat[pair_qpos, within] = pair_ids
+            row_order = np.lexsort((imat, dmat), axis=1)[:, :k_eff]
+            sel_d2 = np.take_along_axis(dmat, row_order, axis=1)
+            sel_ids = np.take_along_axis(imat, row_order, axis=1)
+        else:
+            # Ragged fallback (heavily skewed data can give a few queries
+            # huge candidate blocks): one global lexsort by (query,
+            # distance, ID); the first k pairs of each query's contiguous
+            # run are its exact k-NN.
+            order = np.lexsort((pair_ids, pair_d2, pair_qpos))
+            top = order[pair_cum[:-1, None] + np.arange(k_eff)[None, :]]
+            sel_d2 = pair_d2[top]
+            sel_ids = pair_ids[top]
+
+        # Scatter back to the caller's query order, padding the k_eff..k
+        # tail (region population below k) with inf / -1 sentinels.
+        top_d2 = np.full((nq, k), np.inf)
+        top_ids = np.full((nq, k), -1, dtype=sel_ids.dtype)
+        top_d2[qorder, :k_eff] = sel_d2
+        top_ids[qorder, :k_eff] = sel_ids
+
+    return BatchKNNResult(
+        top_d2,
+        top_ids,
+        {
+            "radii": span_radii.duration,
+            "gather": span_gather.duration,
+            "select": span_select.duration,
+        },
+        {
+            "ring_passes": l,
+            "groups": ngroups,
+            "candidates": ncand,
+            "pairs": npairs,
+            "dense": int(dense),
+        },
+    )
 
 
 class FastGridEngine(BaseEngine):
@@ -186,7 +447,7 @@ class FastGridEngine(BaseEngine):
         self._snapshot_time = span.duration
 
     # ------------------------------------------------------------------
-    # Answering: radii -> gather -> select, all queries at once
+    # Answering: one batch_knn pass over the whole unit square
     # ------------------------------------------------------------------
     def answer(self) -> List[AnswerList]:
         if self.csr is None:
@@ -201,171 +462,39 @@ class FastGridEngine(BaseEngine):
                 StageTimings(self._snapshot_time, 0.0, 0.0, 0.0)
             )
             return []
-        tracer = self._stage_tracer
 
-        # ---- stage: radii -------------------------------------------------
-        with tracer.span("radii") as span_radii:
-            n = csr.ncells
-            delta = csr.delta
-            qx = np.ascontiguousarray(self.queries[:, 0])
-            qy = np.ascontiguousarray(self.queries[:, 1])
-            qi = np.clip((qx * n).astype(np.intp), 0, n - 1)
-            qj = np.clip((qy * n).astype(np.intp), 0, n - 1)
+        result = batch_knn(
+            csr, self.queries[:, 0], self.queries[:, 1], k, self._stage_tracer
+        )
 
-            # Vectorized ring growth: every query still short of k objects
-            # grows its rectangle R(cq, l) by one ring per pass; the
-            # prefix-sum makes each pass O(NQ) with no per-object work.
-            level = np.zeros(nq, dtype=np.intp)
-            counts = csr.count_in_rects(qi, qj, qi, qj)
-            active = counts < k
-            l = 0
-            while active.any():
-                l += 1
-                if l > n:  # pragma: no cover - k <= n_objects makes this unreachable
-                    raise NotEnoughObjectsError(k, csr.n_objects)
-                ai, aj = qi[active], qj[active]
-                acounts = csr.count_in_rects(
-                    np.maximum(ai - l, 0),
-                    np.maximum(aj - l, 0),
-                    np.minimum(ai + l, n - 1),
-                    np.minimum(aj + l, n - 1),
-                )
-                done = acounts >= k
-                idx = np.nonzero(active)[0]
-                level[idx[done]] = l
-                active[idx[done]] = False
-
-            # lcrit: distance from q to the farthest corner of the clamped R0.
-            # R0 holds >= k objects, so the disc (q, lcrit) covers the true k-NN.
-            r0_xlo = np.maximum(qi - level, 0) * delta
-            r0_ylo = np.maximum(qj - level, 0) * delta
-            r0_xhi = (np.minimum(qi + level, n - 1) + 1) * delta
-            r0_yhi = (np.minimum(qj + level, n - 1) + 1) * delta
-            far_dx = np.maximum(qx - r0_xlo, r0_xhi - qx)
-            far_dy = np.maximum(qy - r0_ylo, r0_yhi - qy)
-            lcrit = np.hypot(far_dx, far_dy)
-
-            # Critical rectangle: cells intersecting the bounding box of the disc.
-            ilo = np.clip(np.floor((qx - lcrit) * n).astype(np.intp), 0, n - 1)
-            jlo = np.clip(np.floor((qy - lcrit) * n).astype(np.intp), 0, n - 1)
-            ihi = np.clip(np.floor((qx + lcrit) * n).astype(np.intp), 0, n - 1)
-            jhi = np.clip(np.floor((qy + lcrit) * n).astype(np.intp), 0, n - 1)
-
-        # ---- stage: gather ------------------------------------------------
-        with tracer.span("gather") as span_gather:
-            # Group queries by home cell; the group's union rectangle is shared
-            # by every member, so co-located queries share one gather.
-            qflat = qj * n + qi
-            qorder = np.argsort(qflat, kind="stable")
-            sorted_flat = qflat[qorder]
-            group_start = np.concatenate(
-                ([0], np.nonzero(np.diff(sorted_flat))[0] + 1)
-            )
-            g_ilo = np.minimum.reduceat(ilo[qorder], group_start)
-            g_jlo = np.minimum.reduceat(jlo[qorder], group_start)
-            g_ihi = np.maximum.reduceat(ihi[qorder], group_start)
-            g_jhi = np.maximum.reduceat(jhi[qorder], group_start)
-            group_sizes = np.diff(np.concatenate((group_start, [nq])))
-            ngroups = len(group_start)
-
-            # Expand each group rectangle into row segments: row j of the rect
-            # is one contiguous CSR slice (cells (ilo..ihi, j) have consecutive
-            # flat IDs).
-            rows_per_group = g_jhi - g_jlo + 1
-            seg_group = np.repeat(np.arange(ngroups), rows_per_group)
-            row_cum = np.concatenate(([0], np.cumsum(rows_per_group)))
-            seg_j = g_jlo[seg_group] + (np.arange(row_cum[-1]) - row_cum[seg_group])
-            seg_lo = csr.cell_start[seg_j * n + g_ilo[seg_group]]
-            seg_hi = csr.cell_start[seg_j * n + g_ihi[seg_group] + 1]
-            seg_len = seg_hi - seg_lo
-
-            # Flatten the segments into per-group candidate blocks of CSR
-            # indices (block = all objects inside the group's rectangle).
-            ncand = int(seg_len.sum())
-            seg_cum = np.concatenate(([0], np.cumsum(seg_len)))
-            block_idx = (
-                np.repeat(seg_lo - seg_cum[:-1], seg_len) + np.arange(ncand)
-            )
-            cand_per_group = np.bincount(
-                seg_group, weights=seg_len, minlength=ngroups
-            ).astype(np.intp)
-            group_cand_start = np.concatenate(
-                ([0], np.cumsum(cand_per_group))
-            )
-
-            # Expand to (query, candidate) pairs: every query of a group pairs
-            # with the group's whole block.
-            pairs_per_query = cand_per_group[np.repeat(np.arange(ngroups), group_sizes)]
-            npairs = int(pairs_per_query.sum())
-            pair_cum = np.concatenate(([0], np.cumsum(pairs_per_query)))
-            pair_block_start = np.repeat(
-                group_cand_start[:-1], group_sizes * cand_per_group
-            )
-            pair_local = np.arange(npairs) - np.repeat(pair_cum[:-1], pairs_per_query)
-            pair_cand = block_idx[pair_block_start + pair_local]
-            # Query of each pair, in sorted-query positions (0..nq-1).
-            pair_qpos = np.repeat(np.arange(nq), pairs_per_query)
-
-            sqx = qx[qorder]
-            sqy = qy[qorder]
-            dx = csr.xs[pair_cand] - sqx[pair_qpos]
-            dy = csr.ys[pair_cand] - sqy[pair_qpos]
-            pair_d2 = dx * dx + dy * dy
-            pair_ids = csr.ids[pair_cand]
-
-        # ---- stage: select ------------------------------------------------
-        with tracer.span("select") as span_select:
-            maxc = int(pairs_per_query.max())
-            dense = maxc * nq <= max(4 * npairs, DENSE_SELECT_LIMIT)
-            if dense:
-                # Dense path: scatter the ragged pairs into an (nq, maxc)
-                # matrix padded with inf and rank each row by (distance, ID)
-                # with one two-key lexsort — exact k-NN with deterministic
-                # ID tie-breaking, no per-query Python work.
-                dmat = np.full((nq, maxc), np.inf)
-                imat = np.zeros((nq, maxc), dtype=np.intp)
-                within = np.arange(npairs) - np.repeat(
-                    pair_cum[:-1], pairs_per_query
-                )
-                dmat[pair_qpos, within] = pair_d2
-                imat[pair_qpos, within] = pair_ids
-                row_order = np.lexsort((imat, dmat), axis=1)[:, :k]
-                top_d2 = np.take_along_axis(dmat, row_order, axis=1)
-                top_ids = np.take_along_axis(imat, row_order, axis=1)
-            else:
-                # Ragged fallback (heavily skewed data can give a few queries
-                # huge candidate blocks): one global lexsort by (query,
-                # distance, ID); the first k pairs of each query's contiguous
-                # run are its exact k-NN.
-                order = np.lexsort((pair_ids, pair_d2, pair_qpos))
-                top = order[pair_cum[:-1, None] + np.arange(k)[None, :]]
-                top_d2 = pair_d2[top]
-                top_ids = pair_ids[top]
-
-            answers: List[AnswerList] = [None] * nq  # type: ignore[list-item]
-            d_rows = top_d2.tolist()
-            i_rows = top_ids.tolist()
-            for pos, query_id in enumerate(qorder.tolist()):
-                answer = AnswerList(k)
-                answer._entries = list(zip(d_rows[pos], i_rows[pos]))
-                answers[query_id] = answer
+        answers: List[AnswerList] = []
+        d_rows = result.top_d2.tolist()
+        i_rows = result.top_ids.tolist()
+        for query_id in range(nq):
+            answer = AnswerList(k)
+            answer._entries = list(zip(d_rows[query_id], i_rows[query_id]))
+            answers.append(answer)
 
         metrics = self.metrics
         if metrics.enabled:
+            stats = result.stats
             metrics.inc("fast.answer.queries", nq)
-            metrics.inc("fast.answer.ring_passes", l)
-            metrics.inc("fast.answer.groups", ngroups)
-            metrics.inc("fast.answer.candidates", ncand)
-            metrics.inc("fast.answer.pairs", npairs)
+            metrics.inc("fast.answer.ring_passes", stats["ring_passes"])
+            metrics.inc("fast.answer.groups", stats["groups"])
+            metrics.inc("fast.answer.candidates", stats["candidates"])
+            metrics.inc("fast.answer.pairs", stats["pairs"])
             metrics.inc(
-                "fast.answer.dense_selects" if dense else "fast.answer.ragged_selects"
+                "fast.answer.dense_selects"
+                if stats["dense"]
+                else "fast.answer.ragged_selects"
             )
+        timings = result.timings
         self.stage_history.append(
             StageTimings(
                 self._snapshot_time,
-                span_radii.duration,
-                span_gather.duration,
-                span_select.duration,
+                timings["radii"],
+                timings["gather"],
+                timings["select"],
             )
         )
         return answers

@@ -20,7 +20,15 @@ Factory                      Paper method
 ``brute_force``              linear-scan oracle (not in the paper; testing)
 ``fast_grid``                vectorized CSR + batched answering (production
                              fast path, not a paper method; see fast_index)
+``sharded``                  stripe-sharded multiprocess engine (production
+                             scale-out path; see :mod:`repro.shard`)
 ===========================  ==================================================
+
+All factories are thin delegates of the unified entry point
+:meth:`MonitoringSystem.create`, which resolves a method name to its
+typed :class:`~repro.core.config.MethodConfig` block — unknown keyword
+arguments fail with a :class:`~repro.errors.ConfigurationError` naming
+the valid fields instead of vanishing into ``**kwargs``.
 """
 
 from __future__ import annotations
@@ -537,23 +545,59 @@ class MonitoringSystem:
         engine.bind_observability(self.registry, self.tracer)
 
     # ------------------------------------------------------------------
-    # Factories, one per paper method
+    # Unified factory + per-method delegates
     # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        method: str,
+        k: int,
+        queries: np.ndarray,
+        *,
+        config=None,
+        tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+        **overrides,
+    ) -> "MonitoringSystem":
+        """Build a monitoring system by method name.
+
+        ``method`` is one of the names in
+        :data:`~repro.core.config.METHOD_CONFIGS` (``object_indexing``,
+        ``query_indexing``, ``hierarchical``, ``rtree``, ``brute_force``,
+        ``fast_grid``, ``tpr``, ``sharded``).  Method options come either
+        from a typed ``config`` block (a
+        :class:`~repro.core.config.MethodConfig` of the matching class)
+        or from keyword ``overrides`` — or both, with overrides applied
+        on top of the config.  Unknown option names raise
+        :class:`~repro.errors.ConfigurationError` listing the valid
+        fields.
+        """
+        from .config import make_engine, resolve_config
+
+        resolved = resolve_config(method, config, overrides)
+        return cls(make_engine(resolved, k, queries), tau=tau, registry=registry)
+
     @classmethod
     def object_indexing(
         cls,
         k: int,
         queries: np.ndarray,
+        *,
         maintenance: str = "rebuild",
         answering: str = "overhaul",
         tau: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
         **grid_kwargs,
     ) -> "MonitoringSystem":
-        return cls(
-            ObjectIndexingEngine(k, queries, maintenance, answering, **grid_kwargs),
+        return cls.create(
+            "object_indexing",
+            k,
+            queries,
             tau=tau,
             registry=registry,
+            maintenance=maintenance,
+            answering=answering,
+            **grid_kwargs,
         )
 
     @classmethod
@@ -561,15 +605,20 @@ class MonitoringSystem:
         cls,
         k: int,
         queries: np.ndarray,
+        *,
         maintenance: str = "incremental",
         tau: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
         **grid_kwargs,
     ) -> "MonitoringSystem":
-        return cls(
-            QueryIndexingEngine(k, queries, maintenance, **grid_kwargs),
+        return cls.create(
+            "query_indexing",
+            k,
+            queries,
             tau=tau,
             registry=registry,
+            maintenance=maintenance,
+            **grid_kwargs,
         )
 
     @classmethod
@@ -577,16 +626,22 @@ class MonitoringSystem:
         cls,
         k: int,
         queries: np.ndarray,
+        *,
         maintenance: str = "incremental",
         answering: str = "incremental",
         tau: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
         **hier_kwargs,
     ) -> "MonitoringSystem":
-        return cls(
-            HierarchicalEngine(k, queries, maintenance, answering, **hier_kwargs),
+        return cls.create(
+            "hierarchical",
+            k,
+            queries,
             tau=tau,
             registry=registry,
+            maintenance=maintenance,
+            answering=answering,
+            **hier_kwargs,
         )
 
     @classmethod
@@ -594,15 +649,20 @@ class MonitoringSystem:
         cls,
         k: int,
         queries: np.ndarray,
+        *,
         maintenance: str = "overhaul",
         tau: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
         **rtree_kwargs,
     ) -> "MonitoringSystem":
-        return cls(
-            RTreeEngine(k, queries, maintenance, **rtree_kwargs),
+        return cls.create(
+            "rtree",
+            k,
+            queries,
             tau=tau,
             registry=registry,
+            maintenance=maintenance,
+            **rtree_kwargs,
         )
 
     @classmethod
@@ -610,16 +670,18 @@ class MonitoringSystem:
         cls,
         k: int,
         queries: np.ndarray,
+        *,
         tau: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
     ) -> "MonitoringSystem":
-        return cls(BruteForceEngine(k, queries), tau=tau, registry=registry)
+        return cls.create("brute_force", k, queries, tau=tau, registry=registry)
 
     @classmethod
     def fast_grid(
         cls,
         k: int,
         queries: np.ndarray,
+        *,
         tau: float = 1.0,
         registry: Optional[MetricsRegistry] = None,
         **grid_kwargs,
@@ -631,9 +693,26 @@ class MonitoringSystem:
         laid out as flat numpy arrays and all queries are answered in one
         batched pass.  See :mod:`repro.core.fast_index`.
         """
-        from .fast_index import FastGridEngine
+        return cls.create("fast_grid", k, queries, tau=tau, registry=registry, **grid_kwargs)
 
-        return cls(FastGridEngine(k, queries, **grid_kwargs), tau=tau, registry=registry)
+    @classmethod
+    def sharded(
+        cls,
+        k: int,
+        queries: np.ndarray,
+        *,
+        tau: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
+        **shard_kwargs,
+    ) -> "MonitoringSystem":
+        """Stripe-sharded multiprocess engine (see :mod:`repro.shard`).
+
+        ``workers`` sets the worker-pool size (``0`` = serial in-process
+        fallback, identical answers) and ``shards`` the stripe count
+        (default: one per worker).  The pool holds OS resources — call
+        :meth:`close` (or use the system as a context manager) when done.
+        """
+        return cls.create("sharded", k, queries, tau=tau, registry=registry, **shard_kwargs)
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -715,3 +794,20 @@ class MonitoringSystem:
         """Average total cycle time, by default excluding the initial build."""
         index_mean, answer_mean, _ = CycleStats.mean_of(self.history, skip_first)
         return index_mean + answer_mean
+
+    # ------------------------------------------------------------------
+    # Resource management (engines may own worker pools / shared memory)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine-held OS resources (idempotent; most engines hold
+        none, the sharded engine holds a worker pool and shared memory)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "MonitoringSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,100 @@
+"""Stateless shard tasks: build one stripe's CSR snapshot, answer queries.
+
+One *cycle task* asks a worker to (a) select the objects of one stripe
+out of the shared-memory snapshot, (b) build a region-aware
+:class:`~repro.core.fast_index.CSRGrid` over the stripe, and (c) run
+:func:`~repro.core.fast_index.batch_knn` for the queries routed to it.
+Escalation rounds of the same cycle hit the worker's ``(cycle, shard)``
+CSR cache, so the snapshot is indexed at most once per shard per cycle
+no matter how many query batches arrive.
+
+Tasks carry everything they need (shard id, shard count, k, query
+coordinates) so a re-dispatched task after a worker crash is exactly the
+original payload sent to a fresh process — no worker state survives a
+crash, and none needs to.
+
+The same :func:`run_shard_task` powers the ``workers=0`` serial
+fallback: the engine calls it in-process with its own cache dict, which
+guarantees the serial and multiprocess paths cannot diverge.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.fast_index import CSRGrid, batch_knn
+from .partition import StripePartition, shard_grid_shape
+
+#: Worker-side CSR cache type: ``(cycle, shard) -> CSRGrid``.
+CSRCache = Dict[Tuple[int, int], CSRGrid]
+
+
+def build_shard_csr(
+    positions: np.ndarray, shard: int, n_shards: int
+) -> CSRGrid:
+    """CSR snapshot of one stripe, carrying global object IDs.
+
+    ``positions`` is the *full* ``(n, 2)`` snapshot (typically a view
+    over shared memory); membership is recomputed here with the same
+    floor rule the parent's router uses, so boundary objects agree.
+    The CSRGrid copies the selected rows out of the buffer — nothing
+    retains a reference into shared memory after this returns.
+    """
+    partition = StripePartition(n_shards)
+    sel = np.flatnonzero(partition.shard_of(positions[:, 0]) == shard)
+    nx, ny = shard_grid_shape(len(sel), n_shards)
+    return CSRGrid(
+        positions[sel],
+        region=partition.region(shard),
+        nx=nx,
+        ny=ny,
+        object_ids=sel,
+    )
+
+
+def run_shard_task(
+    positions: np.ndarray,
+    task: Dict[str, object],
+    cache: Optional[CSRCache] = None,
+) -> Dict[str, object]:
+    """Execute one cycle task against the given snapshot.
+
+    ``task`` fields: ``shard``, ``n_shards``, ``cycle``, ``k``, ``qx``,
+    ``qy`` (routed query coordinates).  Returns the per-query top-k
+    blocks (``inf``/``-1`` padded when the stripe holds fewer than ``k``
+    objects) plus build/answer timings for the dispatch metrics.
+    """
+    shard = int(task["shard"])
+    n_shards = int(task["n_shards"])
+    cycle = int(task["cycle"])
+    k = int(task["k"])
+
+    t0 = perf_counter()
+    key = (cycle, shard)
+    csr = cache.get(key) if cache is not None else None
+    if csr is None:
+        csr = build_shard_csr(positions, shard, n_shards)
+        if cache is not None:
+            # Snapshots of past cycles can never be asked for again.
+            for stale in [key2 for key2 in cache if key2[0] != cycle]:
+                del cache[stale]
+            cache[key] = csr
+    build_seconds = perf_counter() - t0
+
+    t0 = perf_counter()
+    result = batch_knn(csr, task["qx"], task["qy"], k)
+    answer_seconds = perf_counter() - t0
+
+    return {
+        "shard": shard,
+        "cycle": cycle,
+        "n_shard": csr.n_objects,
+        "top_d2": result.top_d2,
+        "top_ids": np.asarray(result.top_ids, dtype=np.int64),
+        "build_seconds": build_seconds,
+        "answer_seconds": answer_seconds,
+        "stats": result.stats,
+    }

@@ -1,0 +1,110 @@
+"""Shard worker process: attach shared memory, serve cycle tasks.
+
+Each worker is a single loop over a duplex :class:`multiprocessing.Pipe`:
+
+``{"cmd": "cycle", ...}``
+    run :func:`~repro.shard.tasks.run_shard_task` against the snapshot
+    named by ``shm``/``n`` and send back a ``{"cmd": "result", ...}``
+    message tagged with the task id.
+``{"cmd": "ping", "seq": s}``
+    heartbeat; reply ``{"cmd": "pong", "seq": s}`` immediately.
+``{"cmd": "stop"}``
+    clean shutdown.
+
+Workers are deliberately stateless between cycles except for two caches:
+the attached :class:`~multiprocessing.shared_memory.SharedMemory` segment
+(re-attached only when the parent grows the buffer and its name changes)
+and the ``(cycle, shard)`` CSR cache that serves escalation rounds.  A
+SIGKILL therefore loses nothing the parent cannot recreate by re-sending
+the task to a fresh worker.
+
+If the parent dies, ``recv`` raises ``EOFError`` (the parent's pipe end
+closes) and the worker exits on its own.
+"""
+
+from __future__ import annotations
+
+import signal
+from multiprocessing import shared_memory
+from typing import Dict
+
+import numpy as np
+
+from .tasks import CSRCache, run_shard_task
+
+
+def _attach_snapshot(
+    shm_cache: Dict[str, shared_memory.SharedMemory], name: str, n: int
+) -> np.ndarray:
+    """An ``(n, 2)`` float64 view over the named shared-memory segment.
+
+    The parent owns the segment's lifetime (it unlinks on shutdown); the
+    worker must *not* let its resource tracker claim it, or a killed
+    worker's tracker would unlink a segment the parent is still using.
+    Python 3.13+ has ``track=False`` for this; earlier versions need the
+    unregister workaround.
+    """
+    shm = shm_cache.get(name)
+    if shm is None:
+        for old_name in list(shm_cache):
+            shm_cache.pop(old_name).close()
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Pre-3.13: suppress the attach-time registration instead of
+            # unregistering afterwards — under fork the worker shares the
+            # parent's tracker, and an unregister there would drop the
+            # parent's own registration.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        shm_cache[name] = shm
+    return np.ndarray((n, 2), dtype=np.float64, buffer=shm.buf)
+
+
+def worker_main(worker_id: int, conn) -> None:
+    """Entry point of one shard worker process."""
+    # The parent handles interrupts; a Ctrl-C in an interactive session
+    # must not kill workers mid-task (crash recovery would mask it).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    shm_cache: Dict[str, shared_memory.SharedMemory] = {}
+    csr_cache: CSRCache = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            cmd = msg.get("cmd")
+            if cmd == "stop":
+                break
+            if cmd == "ping":
+                conn.send({"cmd": "pong", "worker": worker_id, "seq": msg.get("seq")})
+                continue
+            if cmd == "cycle":
+                positions = _attach_snapshot(
+                    shm_cache, msg["shm"], int(msg["n"])
+                )
+                out = run_shard_task(positions, msg, cache=csr_cache)
+                out["cmd"] = "result"
+                out["worker"] = worker_id
+                out["task"] = msg["task"]
+                conn.send(out)
+    finally:
+        for shm in shm_cache.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -1,0 +1,162 @@
+"""MethodConfig registry and the unified MonitoringSystem.create()."""
+
+import numpy as np
+import pytest
+
+from repro import METHOD_CONFIGS, MethodConfig, MonitoringSystem
+from repro.core.config import (
+    FastGridConfig,
+    HierarchicalConfig,
+    ObjectIndexingConfig,
+    RTreeConfig,
+    ShardedConfig,
+    make_engine,
+    resolve_config,
+)
+from repro.errors import ConfigurationError
+
+
+QUERIES = np.array([[0.25, 0.25], [0.75, 0.75]])
+
+
+class TestRegistry:
+    def test_every_method_has_a_config_class(self):
+        expected = {
+            "object_indexing", "query_indexing", "hierarchical", "rtree",
+            "brute_force", "fast_grid", "tpr", "sharded",
+        }
+        assert set(METHOD_CONFIGS) == expected
+        for name, cls in METHOD_CONFIGS.items():
+            assert issubclass(cls, MethodConfig)
+            assert cls.method == name
+
+    def test_configs_are_frozen(self):
+        config = ObjectIndexingConfig()
+        with pytest.raises(Exception):
+            config.maintenance = "incremental"
+
+    def test_from_kwargs_rejects_unknown_naming_valid_fields(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ObjectIndexingConfig.from_kwargs(ncell=64)
+        message = str(excinfo.value)
+        assert "'ncell'" in message
+        for field in ("maintenance", "answering", "ncells", "delta"):
+            assert field in message
+
+    def test_merged_applies_overrides(self):
+        config = ShardedConfig(workers=4).merged(shards=8)
+        assert (config.workers, config.shards) == (4, 8)
+        with pytest.raises(ConfigurationError):
+            config.merged(worker=2)
+
+    def test_resolve_config_paths(self):
+        assert resolve_config("rtree").max_entries == 32
+        assert resolve_config("rtree", None, {"max_entries": 8}).max_entries == 8
+        base = RTreeConfig(maintenance="str_bulk")
+        merged = resolve_config("rtree", base, {"max_entries": 16})
+        assert (merged.maintenance, merged.max_entries) == ("str_bulk", 16)
+        with pytest.raises(ConfigurationError):
+            resolve_config("nope")
+        with pytest.raises(ConfigurationError):
+            resolve_config("rtree", FastGridConfig(), None)
+
+
+class TestCreate:
+    @pytest.mark.parametrize(
+        "method,engine_name",
+        [
+            ("object_indexing", "object-indexing/rebuild/overhaul"),
+            ("query_indexing", "query-indexing/incremental"),
+            ("hierarchical", "hierarchical/incremental/incremental"),
+            ("rtree", "rtree/overhaul"),
+            ("brute_force", "brute-force"),
+            ("fast_grid", "fast-grid"),
+            ("tpr", "tprtree/predictive"),
+            ("sharded", "sharded/2w2s"),
+        ],
+    )
+    def test_create_builds_every_method(self, method, engine_name):
+        system = MonitoringSystem.create(method, 2, QUERIES)
+        try:
+            assert system.engine.name == engine_name
+        finally:
+            system.close()
+
+    def test_create_unknown_option_names_valid_fields(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            MonitoringSystem.create("sharded", 2, QUERIES, shardz=3)
+        assert "'shardz'" in str(excinfo.value)
+        assert "workers" in str(excinfo.value)
+
+    def test_create_with_config_block_and_override(self):
+        system = MonitoringSystem.create(
+            "sharded", 2, QUERIES,
+            config=ShardedConfig(workers=0, shards=3), seed_slack=0.1,
+        )
+        with system:
+            engine = system.engine
+            assert (engine.workers, engine.n_shards, engine.seed_slack) == (0, 3, 0.1)
+
+    def test_factories_are_thin_delegates(self):
+        system = MonitoringSystem.hierarchical(
+            2, QUERIES, maintenance="rebuild", delta0=0.2
+        )
+        assert system.engine.name == "hierarchical/rebuild/incremental"
+        assert system.engine.index.delta0 == 0.2
+
+    def test_factories_reject_positional_options(self):
+        with pytest.raises(TypeError):
+            MonitoringSystem.object_indexing(2, QUERIES, "incremental")
+
+    @pytest.mark.parametrize(
+        "factory,bad_kwarg",
+        [
+            ("object_indexing", {"ncell": 10}),
+            ("query_indexing", {"cells": 10}),
+            ("hierarchical", {"delta": 0.1}),
+            ("rtree", {"max_entry": 8}),
+            ("fast_grid", {"workers": 2}),
+            ("sharded", {"ncells": 32}),
+        ],
+    )
+    def test_factories_reject_unknown_kwargs(self, factory, bad_kwarg):
+        with pytest.raises(ConfigurationError):
+            getattr(MonitoringSystem, factory)(2, QUERIES, **bad_kwarg)
+
+    def test_engine_value_validation_still_applies(self):
+        with pytest.raises(ConfigurationError):
+            MonitoringSystem.create("rtree", 2, QUERIES, maintenance="nope")
+
+
+class TestBenchResolution:
+    def test_bench_presets_resolve_through_registry(self):
+        from repro.bench.runner import BENCH_PRESETS, METHOD_FACTORIES, make_system
+
+        for name, (method, preset) in BENCH_PRESETS.items():
+            assert method in METHOD_CONFIGS
+            # preset option names must be valid for the method
+            METHOD_CONFIGS[method].from_kwargs(**preset)
+        assert set(METHOD_FACTORIES) == set(BENCH_PRESETS)
+        system = make_system("object_overhaul", 2, QUERIES)
+        assert system.engine.name == "object-indexing/rebuild/overhaul"
+
+    def test_make_system_accepts_registry_names_and_overrides(self):
+        from repro.bench.runner import make_system
+
+        system = make_system("sharded", 2, QUERIES, workers=0, shards=2)
+        with system:
+            assert system.engine.name == "sharded/0w2s"
+        with pytest.raises(ConfigurationError):
+            make_system("object_overhaul", 2, QUERIES, ncell=64)
+        with pytest.raises(ConfigurationError):
+            make_system("nope", 2, QUERIES)
+
+    def test_method_factories_mapping_protocol(self):
+        from repro.bench.runner import METHOD_FACTORIES
+
+        assert "fast_grid" in METHOD_FACTORIES
+        assert len(METHOD_FACTORIES) == len(list(iter(METHOD_FACTORIES)))
+        factory = METHOD_FACTORIES["brute_force"]
+        assert factory(2, QUERIES).engine.name == "brute-force"
+        with pytest.raises(KeyError):
+            METHOD_FACTORIES["nope"]
