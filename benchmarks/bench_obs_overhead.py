@@ -37,7 +37,8 @@ import platform
 from time import perf_counter
 from typing import Dict, List
 
-from repro.bench.runner import make_system, measure_cycles
+from repro.bench.runner import measure_cycles
+from repro.engines.registry import build_system
 from repro.motion import RandomWalkModel, make_dataset, make_queries
 from repro.obs import (
     NULL_REGISTRY,
@@ -120,7 +121,7 @@ def _one_run(
     queries = make_queries(n_queries, seed=seed + 1)
     motion = RandomWalkModel(vmax=0.005, seed=seed + 2)
     kwargs = {"registry": MetricsRegistry()} if instrumented else {}
-    system = make_system(method, k, queries, **kwargs)
+    system = build_system(method, k, queries, **kwargs)
     timing = measure_cycles(system, positions, motion, cycles=cycles)
     return timing, system
 
@@ -137,12 +138,10 @@ def count_disabled_emissions(
     positions = make_dataset("uniform", n_objects, seed=seed)
     queries = make_queries(n_queries, seed=seed + 1)
     motion = RandomWalkModel(vmax=0.005, seed=seed + 2)
-    system = make_system(method, k, queries)
+    system = build_system(method, k, queries)
     registry = _CountingNullRegistry()
     tracer = _CountingNullTracer()
-    system.registry = registry
-    system.tracer = tracer
-    system.engine.bind_observability(registry, tracer)
+    system.pipeline.bind(registry, tracer)
     system.load(positions)
     spans_before = tracer.emissions
     incs_before = registry.emissions

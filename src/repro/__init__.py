@@ -53,6 +53,17 @@ from .core import (
     pr_exit,
     recommend,
 )
+from .engines import (
+    BaseEngine,
+    CyclePipeline,
+    CycleTiming,
+    FastGridEngine,
+    SnapshotIndex,
+    build_system,
+    make_snapshot,
+    snapshot_knn,
+    snapshot_range,
+)
 from .errors import (
     ConfigurationError,
     IndexStateError,
@@ -94,12 +105,16 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerDelta",
     "AnswerList",
+    "BaseEngine",
     "CircleRegion",
     "ConfigurationError",
+    "CyclePipeline",
     "CycleStats",
+    "CycleTiming",
     "DeltaTracker",
     "DispersionProcess",
     "DynamicPopulation",
+    "FastGridEngine",
     "GNNMonitor",
     "Grid2D",
     "GroupQuery",
@@ -129,6 +144,7 @@ __all__ = [
     "SelfJoinMonitor",
     "ShardedConfig",
     "ShardedGridEngine",
+    "SnapshotIndex",
     "TPREngine",
     "TPRTree",
     "Tracer",
@@ -139,12 +155,16 @@ __all__ = [
     "RoadNetworkModel",
     "answers_equal",
     "brute_force_knn",
+    "build_system",
     "calibrate",
     "cycle_report",
     "density_plot",
     "make_dataset",
     "make_queries",
+    "make_snapshot",
     "side_by_side",
+    "snapshot_knn",
+    "snapshot_range",
     "optimal_cell_size",
     "pr_exit",
     "prometheus_text",

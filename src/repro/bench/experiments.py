@@ -29,7 +29,8 @@ from ..motion import (
 )
 from ..roadnet import roadnet_dataset, synthetic_road_network
 from .results import ExperimentResult
-from .runner import make_system, measure_cycles, measure_method
+from ..engines.registry import build_system
+from .runner import measure_cycles, measure_method
 
 # Reference workload sizes (paper: NP=100_000, NQ=5_000, k=10, vmax=0.005).
 NP0 = 20_000
@@ -457,7 +458,7 @@ def ablation_tpr_degeneration(scale: float = 1.0) -> ExperimentResult:
     for change_probability in (0.0, 0.1, 0.5, 1.0):
         engine = TPREngine(K0, queries)
         tpr_system = MonitoringSystem(engine)
-        grid_system = make_system("object_overhaul", K0, queries)
+        grid_system = build_system("object_overhaul", K0, queries)
         positions = make_dataset("uniform", n_objects, seed=SEED)
         motion = LinearMotionModel(
             n_objects, vmax=VMAX0, change_probability=change_probability,
@@ -566,7 +567,7 @@ def fig17_skewness(scale: float = 1.0) -> ExperimentResult:
     for dataset_name, positions in datasets.items():
         row: List = [dataset_name]
         for method, _ in _FIG17_METHODS:
-            system = make_system(method, K0, queries)
+            system = build_system(method, K0, queries)
             motion = RandomWalkModel(vmax=VMAX0, seed=SEED + 2)
             timing = measure_cycles(system, positions, motion, cycles=CYCLES0)
             row.append(timing.total_time)
@@ -947,7 +948,7 @@ def fig22c_answering_velocity(scale: float = 1.0) -> ExperimentResult:
                     K0, queries, maintenance="rebuild", **extra
                 )
             else:
-                system = make_system(method, K0, queries)
+                system = build_system(method, K0, queries)
             motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
             timing = measure_cycles(system, positions, motion, cycles=CYCLES0)
             row.append(timing.answer_time)
@@ -992,7 +993,7 @@ def fastgrid_speedup(scale: float = 1.0) -> ExperimentResult:
         positions = make_dataset("uniform", n_objects, seed=SEED)
         queries = make_queries(n_queries, seed=SEED + 1)
         motion = RandomWalkModel(vmax=VMAX0, seed=SEED + 2)
-        system = make_system(method, K0, queries)
+        system = build_system(method, K0, queries)
         timings[method] = measure_cycles(
             system, positions, motion, cycles=CYCLES0
         )
@@ -1053,7 +1054,7 @@ def sharded_scaling(scale: float = 1.0) -> ExperimentResult:
         positions = make_dataset("uniform", n_objects, seed=SEED)
         queries = make_queries(n_queries, seed=SEED + 1)
         motion = RandomWalkModel(vmax=VMAX0, seed=SEED + 2)
-        system = make_system(method, K0, queries, **options)
+        system = build_system(method, K0, queries, **options)
         try:
             timings[label] = measure_cycles(
                 system, positions, motion, cycles=CYCLES0

@@ -6,55 +6,38 @@ positions.  :func:`measure_cycles` runs a configured
 :class:`~repro.core.monitor.MonitoringSystem` for a number of cycles under
 a motion model and reports mean per-cycle times, split exactly the way the
 paper splits them (Fig. 11(b): "Index building" vs "Query answering").
+
+Timing records come straight from the engine layer's unified pipeline:
+:class:`~repro.engines.base.CycleTiming` is both the per-cycle record and
+(via :meth:`~repro.engines.base.CycleTiming.from_history`) the
+steady-state summary this module returns.  System construction resolves
+through the single engine registry
+(:func:`repro.engines.registry.build_system`); the former local
+``make_system`` remains as a deprecated alias.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence
+import warnings
+from typing import Callable, Mapping
 
 import numpy as np
 
-from ..core.monitor import CycleStats, MonitoringSystem
+from ..core.monitor import MonitoringSystem
+from ..engines.base import CycleTiming
+from ..engines.registry import BENCH_PRESETS, build_system
 from ..errors import ConfigurationError
 from ..motion import RandomWalkModel, make_dataset, make_queries
-from ..obs.export import mean_cycle_counters
 from ..obs.registry import MetricsRegistry
-from ..obs.tracing import span_seconds
 
-
-@dataclass(frozen=True)
-class CycleTiming:
-    """Mean per-cycle timings in seconds (initial build excluded).
-
-    Derived from the monitor layer's per-cycle :class:`CycleStats` via
-    :meth:`from_history` — ``CycleStats`` is the single source of truth
-    for cycle timing; this type only carries the steady-state means the
-    benchmark tables print.  ``counters`` holds the mean per-cycle metric
-    deltas when the measured system was instrumented.
-    """
-
-    index_time: float
-    answer_time: float
-    cycles: int
-    counters: Optional[Mapping[str, float]] = field(default=None, compare=False)
-
-    @property
-    def total_time(self) -> float:
-        return self.index_time + self.answer_time
-
-    @classmethod
-    def from_history(
-        cls, history: Sequence[CycleStats], skip_first: bool = True
-    ) -> "CycleTiming":
-        """Steady-state means of a monitoring history (initial build excluded)."""
-        index_time, answer_time, cycles = CycleStats.mean_of(history, skip_first)
-        counters = mean_cycle_counters(history, skip_first=skip_first) or None
-        return cls(index_time, answer_time, cycles, counters)
-
-    def span_means(self) -> Dict[str, float]:
-        """Mean seconds per span path per cycle (empty if uninstrumented)."""
-        return span_seconds(self.counters or {})
+__all__ = [
+    "BENCH_PRESETS",
+    "METHOD_FACTORIES",
+    "CycleTiming",
+    "make_system",
+    "measure_cycles",
+    "measure_method",
+]
 
 
 def measure_cycles(
@@ -80,67 +63,34 @@ def measure_cycles(
     return CycleTiming.from_history(system.history)
 
 
-# Benchmark method names -> (registry method, preset options).  Each entry
-# maps to one line in the paper's figures; systems are built through the
-# same MethodConfig registry as MonitoringSystem.create, so preset names
-# and caller overrides are validated identically everywhere.
-BENCH_PRESETS: Dict[str, "tuple[str, Dict[str, object]]"] = {
-    "object_overhaul": (
-        "object_indexing", {"maintenance": "rebuild", "answering": "overhaul"}
-    ),
-    "object_incremental": (
-        "object_indexing", {"maintenance": "incremental", "answering": "incremental"}
-    ),
-    "query_indexing": ("query_indexing", {"maintenance": "incremental"}),
-    "query_indexing_rebuild": ("query_indexing", {"maintenance": "rebuild"}),
-    "hierarchical": (
-        "hierarchical", {"maintenance": "rebuild", "answering": "incremental"}
-    ),
-    "hierarchical_incremental": (
-        "hierarchical", {"maintenance": "incremental", "answering": "incremental"}
-    ),
-    "rtree_overhaul": ("rtree", {"maintenance": "overhaul"}),
-    "rtree_bottom_up": ("rtree", {"maintenance": "bottom_up"}),
-    "rtree_str_bulk": ("rtree", {"maintenance": "str_bulk"}),
-    "brute_force": ("brute_force", {}),
-    "tpr_predictive": ("tpr", {}),
-    "fast_grid": ("fast_grid", {}),
-    "sharded": ("sharded", {}),
-}
-
-
 def make_system(method: str, k: int, queries: np.ndarray, **kwargs) -> MonitoringSystem:
-    """Build a monitoring system by benchmark method name.
+    """Deprecated alias of :func:`repro.engines.registry.build_system`.
 
     ``method`` may be a benchmark preset (``object_overhaul``, ...) or any
     bare registry method name (``object_indexing``, ``sharded``, ...);
     keyword arguments override the preset's options.
     """
-    from ..core.config import METHOD_CONFIGS
-
-    if method in BENCH_PRESETS:
-        base, preset = BENCH_PRESETS[method]
-        merged = dict(preset)
-        merged.update(kwargs)
-        return MonitoringSystem.create(base, k, queries, **merged)
-    if method in METHOD_CONFIGS:
-        return MonitoringSystem.create(method, k, queries, **kwargs)
-    known = ", ".join(sorted(set(BENCH_PRESETS) | set(METHOD_CONFIGS)))
-    raise ConfigurationError(f"unknown method {method!r}; known: {known}") from None
+    warnings.warn(
+        "repro.bench.runner.make_system() is deprecated; use "
+        "repro.engines.registry.build_system() or MonitoringSystem.create()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_system(method, k, queries, **kwargs)
 
 
 class _PresetFactories(Mapping):
     """Read-only ``METHOD_FACTORIES`` view kept for backward compatibility.
 
     Historic callers index this mapping for a ``(k, queries, **kw)``
-    factory; entries now close over :func:`make_system` so every path
-    goes through the config registry.
+    factory; entries now close over :func:`build_system` so every path
+    goes through the engine registry.
     """
 
     def __getitem__(self, method: str) -> Callable[..., MonitoringSystem]:
         if method not in BENCH_PRESETS:
             raise KeyError(method)
-        return lambda k, q, **kw: make_system(method, k, q, **kw)
+        return lambda k, q, **kw: build_system(method, k, q, **kw)
 
     def __iter__(self):
         return iter(BENCH_PRESETS)
@@ -177,5 +127,5 @@ def measure_method(
     motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
     if instrument and "registry" not in system_kwargs:
         system_kwargs["registry"] = MetricsRegistry()
-    system = make_system(method, k, queries, **system_kwargs)
+    system = build_system(method, k, queries, **system_kwargs)
     return measure_cycles(system, positions, motion, cycles=cycles)

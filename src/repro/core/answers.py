@@ -63,16 +63,23 @@ class AnswerList:
     def offer(self, dist2: float, object_id: int) -> bool:
         """Consider a candidate; keep it only if it beats the k-th best.
 
-        Returns True when the candidate entered the list.
+        Returns True when the candidate entered the list.  The comparison
+        is on the full ``(dist2, object_id)`` tuple, so exact distance
+        ties at the k-th slot resolve to the lowest ID *regardless of the
+        order candidates arrive in* — the final content is a pure
+        function of the candidate multiset.  That makes answers identical
+        across index backends that enumerate cell contents in different
+        orders (see :mod:`repro.engines.snapshot`).
         """
         entries = self._entries
+        entry = (dist2, object_id)
         if len(entries) < self.k:
-            insort(entries, (dist2, object_id))
+            insort(entries, entry)
             return True
-        if dist2 >= entries[-1][0]:
+        if entry >= entries[-1]:
             return False
         entries.pop()
-        insort(entries, (dist2, object_id))
+        insort(entries, entry)
         return True
 
     def object_ids(self) -> List[int]:

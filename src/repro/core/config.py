@@ -189,39 +189,14 @@ def resolve_config(
 
 
 def make_engine(config: MethodConfig, k: int, queries) -> "object":
-    """Instantiate the engine a config describes (late engine imports)."""
-    kwargs = config._engine_kwargs()
-    method = config.method
-    if method == "object_indexing":
-        from .monitor import ObjectIndexingEngine
+    """Instantiate the engine a config describes.
 
-        return ObjectIndexingEngine(k, queries, **kwargs)
-    if method == "query_indexing":
-        from .monitor import QueryIndexingEngine
+    Backward-compatible alias of
+    :func:`repro.engines.registry.make_engine` — the engine classes are
+    resolved through the single dotted-path table in
+    :data:`repro.engines.registry.ENGINE_PATHS` (late import: the engine
+    modules import this module's neighbors).
+    """
+    from ..engines.registry import make_engine as registry_make_engine
 
-        return QueryIndexingEngine(k, queries, **kwargs)
-    if method == "hierarchical":
-        from .monitor import HierarchicalEngine
-
-        return HierarchicalEngine(k, queries, **kwargs)
-    if method == "rtree":
-        from .monitor import RTreeEngine
-
-        return RTreeEngine(k, queries, **kwargs)
-    if method == "brute_force":
-        from .monitor import BruteForceEngine
-
-        return BruteForceEngine(k, queries)
-    if method == "fast_grid":
-        from .fast_index import FastGridEngine
-
-        return FastGridEngine(k, queries, **kwargs)
-    if method == "tpr":
-        from ..tprtree import TPREngine
-
-        return TPREngine(k, queries, **kwargs)
-    if method == "sharded":
-        from ..shard import ShardedGridEngine
-
-        return ShardedGridEngine(k, queries, **kwargs)
-    raise ConfigurationError(f"no engine wired for method {config.method!r}")
+    return registry_make_engine(config, k, queries)

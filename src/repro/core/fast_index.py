@@ -52,8 +52,8 @@ from ..grid.grid2d import resolve_grid_size
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..obs.tracing import NULL_TRACER, Tracer
 
+from ..engines.base import BaseEngine
 from .answers import AnswerList
-from .monitor import BaseEngine
 
 STAGE_NAMES = ("snapshot_csr", "radii", "gather", "select")
 
@@ -113,7 +113,7 @@ class CSRGrid:
 
     __slots__ = (
         "nx", "ny", "ncells", "region", "dx", "dy", "delta",
-        "n_objects", "xs", "ys", "ids", "cell_start", "prefix",
+        "n_objects", "xs", "ys", "ids", "cell_start", "prefix", "_inv",
     )
 
     def __init__(
@@ -164,6 +164,7 @@ class CSRGrid:
         prefix = np.zeros((ny + 1, nx + 1), dtype=np.int64)
         np.cumsum(np.cumsum(counts.reshape(ny, nx), axis=0), axis=1, out=prefix[1:, 1:])
         self.prefix = prefix
+        self._inv: Optional[np.ndarray] = None  # lazy id -> row permutation
 
     def count_in_rects(
         self, ilo: np.ndarray, jlo: np.ndarray, ihi: np.ndarray, jhi: np.ndarray
@@ -173,6 +174,58 @@ class CSRGrid:
         return (
             p[jhi + 1, ihi + 1] - p[jlo, ihi + 1] - p[jhi + 1, ilo] + p[jlo, ilo]
         )
+
+    # ------------------------------------------------------------------
+    # SnapshotIndex protocol (repro.engines.snapshot) — scalar accessors
+    # used by the index-agnostic workload operators.  The batched fast
+    # path above never calls these.
+    # ------------------------------------------------------------------
+    def locate(self, x: float, y: float) -> Tuple[int, int]:
+        """Cell ``(i, j)`` of a point (clamped to the grid)."""
+        x0, y0, x1, y1 = self.region
+        i = min(max(int((x - x0) * (self.nx / (x1 - x0))), 0), self.nx - 1)
+        j = min(max(int((y - y0) * (self.ny / (y1 - y0))), 0), self.ny - 1)
+        return i, j
+
+    def count_in_cells(self, ilo: int, jlo: int, ihi: int, jhi: int) -> int:
+        """Number of objects inside the inclusive cell rectangle."""
+        p = self.prefix
+        return int(
+            p[jhi + 1, ihi + 1] - p[jlo, ihi + 1] - p[jhi + 1, ilo] + p[jlo, ilo]
+        )
+
+    def gather_cells(
+        self, ilo: int, jlo: int, ihi: int, jhi: int
+    ) -> Tuple[List[int], List[float], List[float]]:
+        """``(ids, xs, ys)`` of every object inside the cell rectangle.
+
+        One contiguous CSR slice per grid row; returns plain Python lists
+        so answers are bit-identical to the ObjectIndex backend.
+        """
+        starts = self.cell_start
+        nx = self.nx
+        out_ids: List[int] = []
+        out_xs: List[float] = []
+        out_ys: List[float] = []
+        for j in range(jlo, jhi + 1):
+            base = j * nx
+            lo = int(starts[base + ilo])
+            hi = int(starts[base + ihi + 1])
+            if lo == hi:
+                continue
+            out_ids.extend(self.ids[lo:hi].tolist())
+            out_xs.extend(self.xs[lo:hi].tolist())
+            out_ys.extend(self.ys[lo:hi].tolist())
+        return out_ids, out_xs, out_ys
+
+    def position_of(self, object_id: int) -> Tuple[float, float]:
+        """Snapshot position of one object (by global ID)."""
+        if self._inv is None:
+            inv = np.empty(self.n_objects, dtype=np.intp)
+            inv[self.ids] = np.arange(self.n_objects, dtype=np.intp)
+            self._inv = inv
+        row = int(self._inv[object_id])
+        return float(self.xs[row]), float(self.ys[row])
 
 
 @dataclass

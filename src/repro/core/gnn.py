@@ -9,9 +9,9 @@ aggregate of the distances to all group members:
 * ``max`` — minimise ``max_i dist(p, qi)`` (minimise the worst member's
   travel).
 
-The search runs on the one-level grid Object-Index and prunes with
-centroid-based lower bounds derived from the triangle inequality.  For an
-object ``p`` and the group centroid ``c``::
+The search runs on any :class:`~repro.engines.snapshot.SnapshotIndex`
+backend and prunes with centroid-based lower bounds derived from the
+triangle inequality.  For an object ``p`` and the group centroid ``c``::
 
     sum_i d(p, qi) >= m * d(p, c) - sum_i d(c, qi)
     max_i d(p, qi) >= d(p, c) - min_i d(c, qi)
@@ -29,10 +29,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engines.snapshot import SnapshotIndex, make_snapshot
 from ..errors import ConfigurationError, NotEnoughObjectsError
 from ..grid.geometry import cells_ring, min_dist2_point_cell
 from .answers import AnswerList, Neighbor
-from .object_index import ObjectIndex
 
 _AGGREGATES = ("sum", "max")
 
@@ -94,9 +94,9 @@ class GroupQuery:
 
 
 def group_knn(
-    index: ObjectIndex, group: GroupQuery, k: int, aggregate: str = "sum"
+    index: SnapshotIndex, group: GroupQuery, k: int, aggregate: str = "sum"
 ) -> List[Neighbor]:
-    """Exact k group-NN over a built Object-Index.
+    """Exact k group-NN over any built snapshot index.
 
     Returns ``(object_id, aggregate_distance)`` pairs, best first.
     """
@@ -108,10 +108,9 @@ def group_knn(
         raise ConfigurationError(f"k must be >= 1, got {k}")
     if k > index.n_objects:
         raise NotEnoughObjectsError(k, index.n_objects)
-    grid = index.grid
-    ci, cj = grid.locate(group.cx, group.cy)
-    ncells = grid.ncells
-    delta = grid.delta
+    ci, cj = index.locate(group.cx, group.cy)
+    ncells = index.ncells
+    delta = index.delta
     # (aggregate, object_id) entries so plain tuple order sorts by quality.
     best = AnswerList(k)
     level = 0
@@ -128,8 +127,7 @@ def group_knn(
         ):
             break
         for i, j in ring:
-            bucket = grid.bucket(i, j)
-            if not bucket:
+            if index.count_in_cells(i, j, i, j) == 0:
                 continue
             if best.full:
                 cell_dist = math.sqrt(
@@ -139,8 +137,8 @@ def group_knn(
                     best.worst_dist2
                 ):
                     continue
-            for object_id in bucket:
-                px, py = index.position_of(object_id)
+            ids, xs, ys = index.gather_cells(i, j, i, j)
+            for object_id, px, py in zip(ids, xs, ys):
                 agg = group.aggregate(px, py, aggregate)
                 best.offer(agg * agg, object_id)
         level += 1
@@ -148,13 +146,19 @@ def group_knn(
 
 
 class GNNMonitor:
-    """Continuously monitor k group-NNs for several groups of points."""
+    """Continuously monitor k group-NNs for several groups of points.
+
+    ``backend`` selects the :class:`~repro.engines.snapshot.SnapshotIndex`
+    implementation used per cycle (``"object_index"`` or ``"csr"``);
+    answers are identical either way.
+    """
 
     def __init__(
         self,
         k: int,
         groups: Sequence[np.ndarray],
         aggregate: str = "sum",
+        backend: str = "object_index",
     ) -> None:
         if aggregate not in _AGGREGATES:
             raise ConfigurationError(
@@ -164,15 +168,14 @@ class GNNMonitor:
             raise ConfigurationError("at least one group is required")
         self.k = k
         self.aggregate = aggregate
+        self.backend = backend
         self.groups = [GroupQuery(points) for points in groups]
-        self._index: Optional[ObjectIndex] = None
+        self._index: Optional[SnapshotIndex] = None
 
     def tick(self, positions: np.ndarray) -> List[List[Neighbor]]:
         """Process one snapshot; returns per-group answers, best first."""
         positions = np.asarray(positions, dtype=np.float64)
-        if self._index is None or self._index.n_objects != len(positions):
-            self._index = ObjectIndex(n_objects=max(1, len(positions)))
-        self._index.build(positions)
+        self._index = make_snapshot(positions, self.backend)
         return [
             group_knn(self._index, group, self.k, self.aggregate)
             for group in self.groups

@@ -6,11 +6,12 @@ objects of population B (e.g. ride requests), continuously.  This is the
 bichromatic form; the monochromatic form is
 :mod:`repro.core.self_join`.
 
-Per cycle, population B is indexed with the one-level grid at its optimal
-cell size; every A-object then runs a k-NN search, incrementally seeded
-from its previous neighbor set (§3.2 applied per A-object).  Both
-populations may move freely and may change size between cycles (a size
-change falls back to overhaul searches for one cycle).
+Per cycle, population B is indexed as a
+:class:`~repro.engines.snapshot.SnapshotIndex` at its optimal cell size;
+every A-object then runs a k-NN search, incrementally seeded from its
+previous neighbor set (§3.2 applied per A-object).  Both populations may
+move freely and may change size between cycles (a size change falls back
+to overhaul searches for one cycle).
 """
 
 from __future__ import annotations
@@ -20,9 +21,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..engines.snapshot import (
+    SnapshotIndex,
+    make_snapshot,
+    snapshot_knn,
+    snapshot_knn_seeded,
+)
 from ..errors import ConfigurationError, NotEnoughObjectsError
 from .answers import AnswerList, Neighbor
-from .object_index import ObjectIndex
 
 
 class KNNJoinMonitor:
@@ -35,15 +41,21 @@ class KNNJoinMonitor:
     incremental:
         Seed each A-object's search from its previous answer (default);
         otherwise run the overhaul search every cycle.
+    backend:
+        :class:`~repro.engines.snapshot.SnapshotIndex` implementation used
+        to index population B (``"object_index"`` or ``"csr"``).
     """
 
-    def __init__(self, k: int, incremental: bool = True) -> None:
+    def __init__(
+        self, k: int, incremental: bool = True, backend: str = "object_index"
+    ) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = k
         self.incremental = incremental
+        self.backend = backend
         self._previous: List[List[int]] = []
-        self._index: Optional[ObjectIndex] = None
+        self._index: Optional[SnapshotIndex] = None
         self._last_answers: List[AnswerList] = []
 
     def tick(
@@ -54,10 +66,9 @@ class KNNJoinMonitor:
         b_positions = np.asarray(b_positions, dtype=np.float64)
         if self.k > len(b_positions):
             raise NotEnoughObjectsError(self.k, len(b_positions))
-        if self._index is None or self._index.n_objects != len(b_positions):
-            self._index = ObjectIndex(n_objects=max(1, len(b_positions)))
+        if self._index is not None and self._index.n_objects != len(b_positions):
             self._previous = []
-        self._index.build(b_positions)
+        self._index = make_snapshot(b_positions, self.backend)
         index = self._index
         n_a = len(a_positions)
         use_previous = (
@@ -68,11 +79,11 @@ class KNNJoinMonitor:
             ax = float(a_positions[a_id, 0])
             ay = float(a_positions[a_id, 1])
             if use_previous and self._previous[a_id]:
-                answer = index.knn_incremental(
-                    ax, ay, self.k, self._previous[a_id]
+                answer = snapshot_knn_seeded(
+                    index, ax, ay, self.k, self._previous[a_id]
                 )
             else:
-                answer = index.knn_overhaul(ax, ay, self.k)
+                answer = snapshot_knn(index, ax, ay, self.k)
             answers.append(answer)
         self._previous = [answer.object_ids() for answer in answers]
         self._last_answers = answers

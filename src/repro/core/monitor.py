@@ -1,4 +1,4 @@
-"""Continuous-monitoring orchestration.
+"""Continuous-monitoring facade over the engine layer.
 
 :class:`MonitoringSystem` is the user-facing entry point.  It implements
 the paper's cycle (§3): a snapshot ``OBJ_snapshot`` of the asynchronously
@@ -7,8 +7,13 @@ maintained against the snapshot, and the exact k-NNs of every query are
 recomputed.  Each returned answer carries the snapshot timestamp it is
 exact for.
 
-The index structure and maintenance/answering policy are pluggable
-*engines*; one engine exists per method evaluated in the paper:
+The engines themselves live in :mod:`repro.engines` (one module per
+method, resolved through the single table in
+:mod:`repro.engines.registry`); cycle sequencing and timing capture live
+in :class:`repro.engines.base.CyclePipeline`.  This module re-exports
+the engine classes and the cycle record type so historic imports
+(``from repro.core.monitor import BaseEngine, CycleStats, ...``) keep
+working.
 
 ===========================  ==================================================
 Factory                      Paper method
@@ -25,497 +30,33 @@ Factory                      Paper method
 ===========================  ==================================================
 
 All factories are thin delegates of the unified entry point
-:meth:`MonitoringSystem.create`, which resolves a method name to its
-typed :class:`~repro.core.config.MethodConfig` block — unknown keyword
-arguments fail with a :class:`~repro.errors.ConfigurationError` naming
-the valid fields instead of vanishing into ``**kwargs``.
+:meth:`MonitoringSystem.create`, which resolves a method name through the
+engine registry and its typed :class:`~repro.core.config.MethodConfig`
+block — unknown keyword arguments fail with a
+:class:`~repro.errors.ConfigurationError` naming the valid fields.
 """
 
 from __future__ import annotations
 
-import abc
-import time
-from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engines.base import (  # noqa: F401  (re-exported compatibility surface)
+    BaseEngine,
+    CyclePipeline,
+    CycleStats,
+    CycleTiming,
+    _as_queries,
+)
+from ..engines.brute import BruteForceEngine  # noqa: F401
+from ..engines.hierarchical import HierarchicalEngine  # noqa: F401
+from ..engines.object_indexing import ObjectIndexingEngine  # noqa: F401
+from ..engines.query_indexing import QueryIndexingEngine  # noqa: F401
+from ..engines.rtree_engine import RTreeEngine  # noqa: F401
 from ..errors import ConfigurationError, IndexStateError
-from ..obs.registry import MetricsRegistry, NULL_REGISTRY
-from ..obs.tracing import NULL_TRACER, Tracer
-from ..rtree.rtree import RTree
+from ..obs.registry import MetricsRegistry
 from .answers import AnswerList, QueryAnswer
-from .brute import brute_force_knn
-from .hierarchical import HierarchicalObjectIndex
-from .object_index import ObjectIndex
-from .query_index import QueryIndex
-
-_MAINTENANCE_MODES = ("rebuild", "incremental")
-_ANSWERING_MODES = ("overhaul", "incremental")
-
-
-def _as_queries(queries: np.ndarray) -> np.ndarray:
-    queries = np.asarray(queries, dtype=np.float64)
-    if queries.ndim != 2 or queries.shape[1] != 2:
-        raise ConfigurationError("queries must be an (NQ, 2) array")
-    return queries
-
-
-class BaseEngine(abc.ABC):
-    """One monitoring method: how to maintain an index and answer queries."""
-
-    name = "base"
-
-    def __init__(self, k: int, queries: np.ndarray) -> None:
-        if k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {k}")
-        self.k = k
-        self.queries = _as_queries(queries)
-        self._positions: Optional[np.ndarray] = None
-        self.metrics: MetricsRegistry = NULL_REGISTRY
-        self.tracer = NULL_TRACER
-
-    @property
-    def n_queries(self) -> int:
-        return len(self.queries)
-
-    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
-        """Attach a metrics sink and tracer (no-op instances by default).
-
-        Subclasses propagate the tracer into their index structures so
-        algorithm-level spans nest under the cycle-level ones.
-        """
-        self.metrics = registry
-        self.tracer = tracer
-
-    def set_queries(self, queries: np.ndarray) -> None:
-        """Replace the query positions (queries may move between cycles).
-
-        The query *set* must stay the same size: per-query state (previous
-        answers, critical regions) is tracked positionally.  Correctness is
-        unaffected — every incremental bound is recomputed from the new
-        query position each cycle (§5.1 expects "comparable performance
-        when query points are moving").
-        """
-        queries = _as_queries(queries)
-        if len(queries) != len(self.queries):
-            raise ConfigurationError(
-                f"query count changed from {len(self.queries)} to "
-                f"{len(queries)}; build a new monitoring system instead"
-            )
-        self.queries = queries
-
-    @abc.abstractmethod
-    def load(self, positions: np.ndarray) -> None:
-        """Initial build from the first snapshot."""
-
-    @abc.abstractmethod
-    def maintain(self, positions: np.ndarray) -> None:
-        """Per-cycle index maintenance against a new snapshot."""
-
-    @abc.abstractmethod
-    def answer(self) -> List[AnswerList]:
-        """Exact k-NN answers for the snapshot last passed to maintain()."""
-
-
-class ObjectIndexingEngine(BaseEngine):
-    """One-level grid Object-Indexing (§3.1 overhaul, §3.2 incremental)."""
-
-    def __init__(
-        self,
-        k: int,
-        queries: np.ndarray,
-        maintenance: str = "rebuild",
-        answering: str = "overhaul",
-        ncells: Optional[int] = None,
-        delta: Optional[float] = None,
-    ) -> None:
-        super().__init__(k, queries)
-        if maintenance not in _MAINTENANCE_MODES:
-            raise ConfigurationError(
-                f"maintenance must be one of {_MAINTENANCE_MODES}, got {maintenance!r}"
-            )
-        if answering not in _ANSWERING_MODES:
-            raise ConfigurationError(
-                f"answering must be one of {_ANSWERING_MODES}, got {answering!r}"
-            )
-        self.name = f"object-indexing/{maintenance}/{answering}"
-        self.maintenance = maintenance
-        self.answering = answering
-        self._ncells = ncells
-        self._delta = delta
-        self.index: Optional[ObjectIndex] = None
-        self._previous_ids: List[List[int]] = [[] for _ in range(self.n_queries)]
-
-    def _make_index(self, n_objects: int) -> ObjectIndex:
-        if self._ncells is not None:
-            return ObjectIndex(ncells=self._ncells)
-        if self._delta is not None:
-            return ObjectIndex(delta=self._delta)
-        return ObjectIndex(n_objects=max(1, n_objects))
-
-    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
-        super().bind_observability(registry, tracer)
-        if self.index is not None:
-            self.index.tracer = tracer
-
-    def load(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        self.index = self._make_index(len(positions))
-        self.index.tracer = self.tracer
-        self.index.build(positions)
-        self._positions = positions
-        self._previous_ids = [[] for _ in range(self.n_queries)]
-
-    def maintain(self, positions: np.ndarray) -> None:
-        if self.index is None:
-            raise IndexStateError("load() must run before maintain()")
-        positions = np.asarray(positions, dtype=np.float64)
-        if self.maintenance == "rebuild" or len(positions) != self.index.n_objects:
-            self.index.build(positions)
-            self.metrics.inc("oi.maintain.rebuilds")
-        else:
-            moves = self.index.update(positions)
-            self.metrics.inc("oi.maintain.moves", moves)
-        self._positions = positions
-
-    def answer(self) -> List[AnswerList]:
-        if self.index is None:
-            raise IndexStateError("load() must run before answer()")
-        metrics = self.metrics
-        before = self.index.counters.snapshot() if metrics.enabled else None
-        answers: List[AnswerList] = []
-        for query_id, (qx, qy) in enumerate(self.queries):
-            if self.answering == "incremental" and self._previous_ids[query_id]:
-                answer = self.index.knn_incremental(
-                    qx, qy, self.k, self._previous_ids[query_id]
-                )
-            else:
-                answer = self.index.knn_overhaul(qx, qy, self.k)
-            self._previous_ids[query_id] = answer.object_ids()
-            answers.append(answer)
-        if before is not None:
-            for name, delta in self.index.counters.diff(before).items():
-                metrics.inc(f"oi.answer.{name}", delta)
-        return answers
-
-
-class QueryIndexingEngine(BaseEngine):
-    """Grid Query-Indexing (§3.3)."""
-
-    def __init__(
-        self,
-        k: int,
-        queries: np.ndarray,
-        maintenance: str = "incremental",
-        ncells: Optional[int] = None,
-        delta: Optional[float] = None,
-    ) -> None:
-        super().__init__(k, queries)
-        if maintenance not in _MAINTENANCE_MODES:
-            raise ConfigurationError(
-                f"maintenance must be one of {_MAINTENANCE_MODES}, got {maintenance!r}"
-            )
-        self.name = f"query-indexing/{maintenance}"
-        self.maintenance = maintenance
-        self._ncells = ncells
-        self._delta = delta
-        self.index: Optional[QueryIndex] = None
-        self._pending_answers: Optional[List[AnswerList]] = None
-
-    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
-        super().bind_observability(registry, tracer)
-        if self.index is not None:
-            self.index.tracer = tracer
-
-    def load(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        if self._ncells is not None:
-            self.index = QueryIndex(self.queries, self.k, ncells=self._ncells)
-        elif self._delta is not None:
-            self.index = QueryIndex(self.queries, self.k, delta=self._delta)
-        else:
-            self.index = QueryIndex(
-                self.queries, self.k, n_objects=max(1, len(positions))
-            )
-        self.index.tracer = self.tracer
-        self.metrics.inc("qi.maintain.bootstraps")
-        self._pending_answers = self.index.bootstrap(positions)
-        self._positions = positions
-
-    def maintain(self, positions: np.ndarray) -> None:
-        if self.index is None:
-            raise IndexStateError("load() must run before maintain()")
-        positions = np.asarray(positions, dtype=np.float64)
-        self._pending_answers = None
-        metrics = self.metrics
-        if self.maintenance == "rebuild":
-            self.index.rebuild_index(positions)
-            metrics.inc("qi.maintain.rect_rebuilds")
-        else:
-            ops = self.index.update_index(positions)
-            metrics.inc("qi.maintain.rect_ops", ops)
-        if metrics.enabled:
-            metrics.set_gauge("qi.rect_cells_mean", self.index.mean_rect_cells())
-        self._positions = positions
-
-    def _count_offers(self) -> int:
-        """Total (object, query) distance offers of one Fig. 5 scan.
-
-        Computed vectorized from the cell occupancies and query-list
-        lengths — the hot loop itself stays uninstrumented.
-        """
-        assert self.index is not None and self._positions is not None
-        n = self.index.grid.ncells
-        positions = self._positions
-        ii = np.clip((positions[:, 0] * n).astype(np.intp), 0, n - 1)
-        jj = np.clip((positions[:, 1] * n).astype(np.intp), 0, n - 1)
-        ql_len = np.fromiter(
-            (len(bucket) for bucket in self.index.grid._buckets),
-            dtype=np.int64,
-            count=n * n,
-        )
-        return int(ql_len[jj * n + ii].sum())
-
-    def answer(self) -> List[AnswerList]:
-        if self.index is None or self._positions is None:
-            raise IndexStateError("load() must run before answer()")
-        if self._pending_answers is not None:
-            # The bootstrap cycle already produced exact answers.
-            answers = self._pending_answers
-            self._pending_answers = None
-            return answers
-        metrics = self.metrics
-        if metrics.enabled:
-            metrics.inc("qi.answer.objects_scanned", len(self._positions))
-            metrics.inc("qi.answer.offers", self._count_offers())
-        return self.index.answer(self._positions)
-
-    def set_queries(self, queries: np.ndarray) -> None:
-        super().set_queries(queries)
-        if self.index is not None:
-            # Rectangles are recomputed from the new query positions on the
-            # next maintenance pass; only the stored coordinates move here.
-            self.index._qx = self.queries[:, 0].tolist()
-            self.index._qy = self.queries[:, 1].tolist()
-
-
-class HierarchicalEngine(BaseEngine):
-    """Hierarchical Object-Indexing (§4)."""
-
-    def __init__(
-        self,
-        k: int,
-        queries: np.ndarray,
-        maintenance: str = "incremental",
-        answering: str = "incremental",
-        delta0: float = 0.1,
-        max_cell_load: int = 10,
-        split_factor: int = 3,
-    ) -> None:
-        super().__init__(k, queries)
-        if maintenance not in _MAINTENANCE_MODES:
-            raise ConfigurationError(
-                f"maintenance must be one of {_MAINTENANCE_MODES}, got {maintenance!r}"
-            )
-        if answering not in _ANSWERING_MODES:
-            raise ConfigurationError(
-                f"answering must be one of {_ANSWERING_MODES}, got {answering!r}"
-            )
-        self.name = f"hierarchical/{maintenance}/{answering}"
-        self.maintenance = maintenance
-        self.answering = answering
-        self.index = HierarchicalObjectIndex(
-            delta0=delta0, max_cell_load=max_cell_load, split_factor=split_factor
-        )
-        self._previous_ids: List[List[int]] = [[] for _ in range(self.n_queries)]
-
-    def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
-        super().bind_observability(registry, tracer)
-        self.index.tracer = tracer
-
-    def load(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        self.index.build(positions)
-        self._positions = positions
-        self._previous_ids = [[] for _ in range(self.n_queries)]
-
-    def maintain(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        metrics = self.metrics
-        before = self.index.counters.snapshot() if metrics.enabled else None
-        if self.maintenance == "rebuild" or len(positions) != self.index.n_objects:
-            self.index.build(positions)
-            metrics.inc("hier.maintain.rebuilds")
-        else:
-            moves = self.index.update(positions)
-            metrics.inc("hier.maintain.moves", moves)
-        if before is not None:
-            for name, delta in self.index.counters.diff(before).items():
-                metrics.inc(f"hier.maintain.{name}", delta)
-        self._positions = positions
-
-    def answer(self) -> List[AnswerList]:
-        metrics = self.metrics
-        before = self.index.counters.snapshot() if metrics.enabled else None
-        answers: List[AnswerList] = []
-        for query_id, (qx, qy) in enumerate(self.queries):
-            if self.answering == "incremental" and self._previous_ids[query_id]:
-                answer = self.index.knn_incremental(
-                    qx, qy, self.k, self._previous_ids[query_id]
-                )
-            else:
-                answer = self.index.knn_overhaul(qx, qy, self.k)
-            self._previous_ids[query_id] = answer.object_ids()
-            answers.append(answer)
-        if before is not None:
-            for name, delta in self.index.counters.diff(before).items():
-                metrics.inc(f"hier.answer.{name}", delta)
-        return answers
-
-
-class RTreeEngine(BaseEngine):
-    """R-tree baseline (§5.4).
-
-    Maintenance modes:
-
-    * ``overhaul`` — re-construct the tree entirely each cycle by inserting
-      every object into an empty tree (the paper's "R-tree overhaul").
-    * ``bottom_up`` — Lee et al. localized updates per object.
-    * ``str_bulk`` — rebuild with Sort-Tile-Recursive packing; *stronger*
-      than anything the paper ran, included as an extra baseline so the
-      comparison is not won by a strawman.
-    """
-
-    _MODES = ("overhaul", "bottom_up", "str_bulk")
-
-    def __init__(
-        self,
-        k: int,
-        queries: np.ndarray,
-        maintenance: str = "overhaul",
-        max_entries: int = 32,
-    ) -> None:
-        super().__init__(k, queries)
-        if maintenance not in self._MODES:
-            raise ConfigurationError(
-                f"maintenance must be one of {self._MODES}, got {maintenance!r}"
-            )
-        self.name = f"rtree/{maintenance}"
-        self.maintenance = maintenance
-        self.max_entries = max_entries
-        self.index = RTree(max_entries=max_entries)
-
-    def _rebuild_by_insertion(self, positions: np.ndarray) -> None:
-        self.index = RTree(max_entries=self.max_entries)
-        xs = positions[:, 0].tolist()
-        ys = positions[:, 1].tolist()
-        for object_id in range(len(positions)):
-            self.index.insert(object_id, xs[object_id], ys[object_id])
-
-    def load(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        if self.maintenance == "overhaul":
-            self._rebuild_by_insertion(positions)
-        else:
-            self.index.bulk_load(positions)
-        self._positions = positions
-
-    def maintain(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        if self.maintenance == "overhaul":
-            self._rebuild_by_insertion(positions)
-            self.metrics.inc("rtree.maintain.rebuilds")
-        elif self.maintenance == "str_bulk" or len(positions) != len(self.index):
-            self.index.bulk_load(positions)
-            self.metrics.inc("rtree.maintain.rebuilds")
-        else:
-            xs = positions[:, 0].tolist()
-            ys = positions[:, 1].tolist()
-            for object_id in range(len(positions)):
-                self.index.update_bottom_up(object_id, xs[object_id], ys[object_id])
-            self.metrics.inc("rtree.maintain.updates", len(positions))
-        self._positions = positions
-
-    def answer(self) -> List[AnswerList]:
-        metrics = self.metrics
-        # Overhaul maintenance replaces the tree (and its counter block)
-        # every cycle, so the diff baseline is taken from the *current*
-        # index right before answering.
-        before = self.index.counters.snapshot() if metrics.enabled else None
-        answers = [self.index.knn(qx, qy, self.k) for qx, qy in self.queries]
-        if before is not None:
-            for name, delta in self.index.counters.diff(before).items():
-                metrics.inc(f"rtree.answer.{name}", delta)
-        return answers
-
-
-class BruteForceEngine(BaseEngine):
-    """Linear-scan oracle, used as ground truth."""
-
-    name = "brute-force"
-
-    def load(self, positions: np.ndarray) -> None:
-        self._positions = np.asarray(positions, dtype=np.float64)
-
-    def maintain(self, positions: np.ndarray) -> None:
-        self._positions = np.asarray(positions, dtype=np.float64)
-
-    def answer(self) -> List[AnswerList]:
-        if self._positions is None:
-            raise IndexStateError("load() must run before answer()")
-        self.metrics.inc(
-            "brute.answer.objects_scanned", len(self._positions) * self.n_queries
-        )
-        answers: List[AnswerList] = []
-        for qx, qy in self.queries:
-            answer = AnswerList(self.k)
-            for object_id, distance in brute_force_knn(
-                self._positions, qx, qy, self.k
-            ):
-                answer.offer(distance * distance, object_id)
-            answers.append(answer)
-        return answers
-
-
-@dataclass(frozen=True)
-class CycleStats:
-    """Timing breakdown of one monitoring cycle (seconds).
-
-    ``counters`` holds the per-cycle metric deltas (spans included) when
-    the system runs with a :class:`~repro.obs.registry.MetricsRegistry`;
-    it stays ``None`` on uninstrumented runs.  Existing positional callers
-    are unaffected — the field has a default.
-    """
-
-    timestamp: float
-    index_time: float
-    answer_time: float
-    counters: Optional[Mapping[str, float]] = field(default=None, compare=False)
-
-    @property
-    def total_time(self) -> float:
-        return self.index_time + self.answer_time
-
-    @staticmethod
-    def mean_of(
-        history: Sequence["CycleStats"], skip_first: bool = True
-    ) -> "tuple[float, float, int]":
-        """``(mean index_time, mean answer_time, cycles averaged)``.
-
-        The single source of truth for steady-state cycle means; the bench
-        layer's ``CycleTiming`` derives from it.  The initial build cycle
-        is excluded by default.
-        """
-        stats = history[1:] if skip_first and len(history) > 1 else list(history)
-        if not stats:
-            raise IndexStateError("no cycle has run yet")
-        cycles = len(stats)
-        return (
-            sum(s.index_time for s in stats) / cycles,
-            sum(s.answer_time for s in stats) / cycles,
-            cycles,
-        )
 
 
 class MonitoringSystem:
@@ -533,20 +74,37 @@ class MonitoringSystem:
     ) -> None:
         if tau <= 0.0:
             raise ConfigurationError(f"tau must be > 0, got {tau}")
-        self.engine = engine
         self.tau = tau
         self.cycle = 0
-        self.history: List[CycleStats] = []
         self._loaded = False
-        self.registry: MetricsRegistry = (
-            registry if registry is not None else NULL_REGISTRY
-        )
-        self.tracer = Tracer(self.registry) if self.registry.enabled else NULL_TRACER
-        engine.bind_observability(self.registry, self.tracer)
+        self.pipeline = CyclePipeline(engine, registry)
 
-    # ------------------------------------------------------------------
-    # Unified factory + per-method delegates
-    # ------------------------------------------------------------------
+    # -- engine/pipeline delegation ------------------------------------
+    @property
+    def engine(self) -> BaseEngine:
+        return self.pipeline.engine
+
+    @property
+    def history(self) -> List[CycleTiming]:
+        return self.pipeline.history
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.pipeline.registry
+
+    @registry.setter
+    def registry(self, value: MetricsRegistry) -> None:
+        self.pipeline.registry = value
+
+    @property
+    def tracer(self):
+        return self.pipeline.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.pipeline.tracer = value
+
+    # -- unified factory + per-method delegates ------------------------
     @classmethod
     def create(
         cls,
@@ -562,149 +120,51 @@ class MonitoringSystem:
         """Build a monitoring system by method name.
 
         ``method`` is one of the names in
-        :data:`~repro.core.config.METHOD_CONFIGS` (``object_indexing``,
-        ``query_indexing``, ``hierarchical``, ``rtree``, ``brute_force``,
-        ``fast_grid``, ``tpr``, ``sharded``).  Method options come either
-        from a typed ``config`` block (a
-        :class:`~repro.core.config.MethodConfig` of the matching class)
-        or from keyword ``overrides`` — or both, with overrides applied
-        on top of the config.  Unknown option names raise
-        :class:`~repro.errors.ConfigurationError` listing the valid
-        fields.
+        :data:`~repro.core.config.METHOD_CONFIGS`.  Method options come
+        either from a typed ``config`` block or from keyword
+        ``overrides`` — or both, with overrides applied on top.  Unknown
+        option names raise :class:`~repro.errors.ConfigurationError`
+        listing the valid fields.  The engine class is resolved through
+        :data:`repro.engines.registry.ENGINE_PATHS`.
         """
-        from .config import make_engine, resolve_config
+        from ..engines.registry import make_engine
+        from .config import resolve_config
 
         resolved = resolve_config(method, config, overrides)
         return cls(make_engine(resolved, k, queries), tau=tau, registry=registry)
 
     @classmethod
-    def object_indexing(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        maintenance: str = "rebuild",
-        answering: str = "overhaul",
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-        **grid_kwargs,
-    ) -> "MonitoringSystem":
-        return cls.create(
-            "object_indexing",
-            k,
-            queries,
-            tau=tau,
-            registry=registry,
-            maintenance=maintenance,
-            answering=answering,
-            **grid_kwargs,
-        )
+    def object_indexing(cls, k, queries, *, tau=1.0, registry=None, **options):
+        return cls.create("object_indexing", k, queries, tau=tau, registry=registry, **options)
 
     @classmethod
-    def query_indexing(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        maintenance: str = "incremental",
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-        **grid_kwargs,
-    ) -> "MonitoringSystem":
-        return cls.create(
-            "query_indexing",
-            k,
-            queries,
-            tau=tau,
-            registry=registry,
-            maintenance=maintenance,
-            **grid_kwargs,
-        )
+    def query_indexing(cls, k, queries, *, tau=1.0, registry=None, **options):
+        return cls.create("query_indexing", k, queries, tau=tau, registry=registry, **options)
 
     @classmethod
-    def hierarchical(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        maintenance: str = "incremental",
-        answering: str = "incremental",
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-        **hier_kwargs,
-    ) -> "MonitoringSystem":
-        return cls.create(
-            "hierarchical",
-            k,
-            queries,
-            tau=tau,
-            registry=registry,
-            maintenance=maintenance,
-            answering=answering,
-            **hier_kwargs,
-        )
+    def hierarchical(cls, k, queries, *, tau=1.0, registry=None, **options):
+        return cls.create("hierarchical", k, queries, tau=tau, registry=registry, **options)
 
     @classmethod
-    def rtree(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        maintenance: str = "overhaul",
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-        **rtree_kwargs,
-    ) -> "MonitoringSystem":
-        return cls.create(
-            "rtree",
-            k,
-            queries,
-            tau=tau,
-            registry=registry,
-            maintenance=maintenance,
-            **rtree_kwargs,
-        )
+    def rtree(cls, k, queries, *, tau=1.0, registry=None, **options):
+        return cls.create("rtree", k, queries, tau=tau, registry=registry, **options)
 
     @classmethod
-    def brute_force(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-    ) -> "MonitoringSystem":
+    def brute_force(cls, k, queries, *, tau=1.0, registry=None):
         return cls.create("brute_force", k, queries, tau=tau, registry=registry)
 
     @classmethod
-    def fast_grid(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-        **grid_kwargs,
-    ) -> "MonitoringSystem":
+    def fast_grid(cls, k, queries, *, tau=1.0, registry=None, **options):
         """Vectorized CSR-grid engine with batched multi-query answering.
 
         The production fast path: exact answers (ties broken by object
-        ID), same cycle contract as the paper engines, but the snapshot is
-        laid out as flat numpy arrays and all queries are answered in one
-        batched pass.  See :mod:`repro.core.fast_index`.
+        ID), same cycle contract as the paper engines.  See
+        :mod:`repro.core.fast_index`.
         """
-        return cls.create("fast_grid", k, queries, tau=tau, registry=registry, **grid_kwargs)
+        return cls.create("fast_grid", k, queries, tau=tau, registry=registry, **options)
 
     @classmethod
-    def sharded(
-        cls,
-        k: int,
-        queries: np.ndarray,
-        *,
-        tau: float = 1.0,
-        registry: Optional[MetricsRegistry] = None,
-        **shard_kwargs,
-    ) -> "MonitoringSystem":
+    def sharded(cls, k, queries, *, tau=1.0, registry=None, **options):
         """Stripe-sharded multiprocess engine (see :mod:`repro.shard`).
 
         ``workers`` sets the worker-pool size (``0`` = serial in-process
@@ -712,11 +172,9 @@ class MonitoringSystem:
         (default: one per worker).  The pool holds OS resources — call
         :meth:`close` (or use the system as a context manager) when done.
         """
-        return cls.create("sharded", k, queries, tau=tau, registry=registry, **shard_kwargs)
+        return cls.create("sharded", k, queries, tau=tau, registry=registry, **options)
 
-    # ------------------------------------------------------------------
-    # Monitoring
-    # ------------------------------------------------------------------
+    # -- monitoring ----------------------------------------------------
     @property
     def k(self) -> int:
         return self.engine.k
@@ -736,22 +194,9 @@ class MonitoringSystem:
 
     def load(self, positions: np.ndarray) -> List[QueryAnswer]:
         """Take the initial snapshot, build the index, answer once."""
-        registry = self.registry
-        before = registry.counter_values() if registry.enabled else None
-        start = time.perf_counter()
-        with self.tracer.span("load"):
-            self.engine.load(positions)
-        index_time = time.perf_counter() - start
-        start = time.perf_counter()
-        with self.tracer.span("answer"):
-            answers = self.engine.answer()
-        answer_time = time.perf_counter() - start
-        counters = registry.counters_since(before) if before is not None else None
+        answers = self.pipeline.run_cycle(positions, 0.0, initial=True)
         self.cycle = 0
-        self.history = [CycleStats(0.0, index_time, answer_time, counters)]
         self._loaded = True
-        registry.inc("cycle.count")
-        registry.observe("cycle.total_seconds", index_time + answer_time)
         return self._package(answers, 0.0)
 
     def tick(self, positions: np.ndarray) -> List[QueryAnswer]:
@@ -760,20 +205,7 @@ class MonitoringSystem:
             raise IndexStateError("load() must run before tick()")
         self.cycle += 1
         timestamp = self.cycle * self.tau
-        registry = self.registry
-        before = registry.counter_values() if registry.enabled else None
-        start = time.perf_counter()
-        with self.tracer.span("maintain"):
-            self.engine.maintain(positions)
-        index_time = time.perf_counter() - start
-        start = time.perf_counter()
-        with self.tracer.span("answer"):
-            answers = self.engine.answer()
-        answer_time = time.perf_counter() - start
-        counters = registry.counters_since(before) if before is not None else None
-        self.history.append(CycleStats(timestamp, index_time, answer_time, counters))
-        registry.inc("cycle.count")
-        registry.observe("cycle.total_seconds", index_time + answer_time)
+        answers = self.pipeline.run_cycle(positions, timestamp)
         return self._package(answers, timestamp)
 
     def _package(
@@ -785,19 +217,14 @@ class MonitoringSystem:
         ]
 
     @property
-    def last_stats(self) -> CycleStats:
-        if not self.history:
-            raise IndexStateError("no cycle has run yet")
-        return self.history[-1]
+    def last_stats(self) -> CycleTiming:
+        return self.pipeline.last_record
 
     def mean_cycle_time(self, skip_first: bool = True) -> float:
         """Average total cycle time, by default excluding the initial build."""
-        index_mean, answer_mean, _ = CycleStats.mean_of(self.history, skip_first)
-        return index_mean + answer_mean
+        return self.pipeline.mean_cycle_time(skip_first)
 
-    # ------------------------------------------------------------------
-    # Resource management (engines may own worker pools / shared memory)
-    # ------------------------------------------------------------------
+    # -- resource management (engines may own worker pools) ------------
     def close(self) -> None:
         """Release engine-held OS resources (idempotent; most engines hold
         none, the sharded engine holds a worker pool and shared memory)."""

@@ -126,6 +126,44 @@ class ObjectIndex:
         return self._x[object_id], self._y[object_id]
 
     # ------------------------------------------------------------------
+    # SnapshotIndex protocol (repro.engines.snapshot)
+    # ------------------------------------------------------------------
+    def locate(self, x: float, y: float) -> "tuple[int, int]":
+        """Cell ``(i, j)`` of a point (clamped to the grid)."""
+        return self.grid.locate(x, y)
+
+    def count_in_cells(self, ilo: int, jlo: int, ihi: int, jhi: int) -> int:
+        """Number of objects inside the inclusive cell rectangle."""
+        buckets = self.grid._buckets
+        n = self.grid.ncells
+        total = 0
+        for j in range(jlo, jhi + 1):
+            base = j * n
+            for i in range(ilo, ihi + 1):
+                total += len(buckets[base + i])
+        return total
+
+    def gather_cells(
+        self, ilo: int, jlo: int, ihi: int, jhi: int
+    ) -> "tuple[List[int], List[float], List[float]]":
+        """``(ids, xs, ys)`` of every object inside the cell rectangle."""
+        buckets = self.grid._buckets
+        n = self.grid.ncells
+        xs = self._x
+        ys = self._y
+        out_ids: List[int] = []
+        out_xs: List[float] = []
+        out_ys: List[float] = []
+        for j in range(jlo, jhi + 1):
+            base = j * n
+            for i in range(ilo, ihi + 1):
+                for object_id in buckets[base + i]:
+                    out_ids.append(object_id)
+                    out_xs.append(xs[object_id])
+                    out_ys.append(ys[object_id])
+        return out_ids, out_xs, out_ys
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def _flat_cells(self, positions: np.ndarray) -> np.ndarray:

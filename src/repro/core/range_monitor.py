@@ -73,17 +73,26 @@ Region = Union[RectRegion, CircleRegion]
 class RangeMonitor:
     """Continuously evaluate a fixed set of range queries.
 
-    The query index is a grid whose cells list the queries overlapping
-    them; one scan over the objects answers all queries per cycle
-    (the Kalashnikov et al. evaluation strategy).
+    With the default ``backend=None`` the query index is a grid whose
+    cells list the queries overlapping them; one scan over the objects
+    answers all queries per cycle (the Kalashnikov et al. evaluation
+    strategy).  Passing a snapshot backend name (``"object_index"`` or
+    ``"csr"``) instead indexes the *objects* each cycle and answers every
+    region through the generic
+    :func:`~repro.engines.snapshot.snapshot_range` operator; answers are
+    identical either way.
     """
 
     def __init__(
-        self, regions: Sequence[Region], ncells: Optional[int] = None
+        self,
+        regions: Sequence[Region],
+        ncells: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if not regions:
             raise ConfigurationError("at least one region is required")
         self.regions: List[Region] = list(regions)
+        self.backend = backend
         grid_size = ncells if ncells is not None else 64
         self.grid = Grid2D(resolve_grid_size(ncells=grid_size))
         self._index_queries()
@@ -102,6 +111,11 @@ class RangeMonitor:
     def tick(self, positions: np.ndarray) -> List[List[int]]:
         """One snapshot scan; returns member object IDs per region."""
         positions = np.asarray(positions, dtype=np.float64)
+        if self.backend is not None:
+            from ..engines.snapshot import make_snapshot, snapshot_range
+
+            index = make_snapshot(positions, self.backend)
+            return [snapshot_range(index, region) for region in self.regions]
         n = self.grid.ncells
         ii = np.clip((positions[:, 0] * n).astype(np.intp), 0, n - 1)
         jj = np.clip((positions[:, 1] * n).astype(np.intp), 0, n - 1)

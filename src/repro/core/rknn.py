@@ -40,17 +40,25 @@ class RKNNMonitor:
         Array of shape ``(NQ, 2)`` with the query positions.
     incremental:
         Run the underlying self-join incrementally (default) or overhaul.
+    backend:
+        :class:`~repro.engines.snapshot.SnapshotIndex` implementation used
+        by the self-join pass (``"object_index"`` or ``"csr"``).
     """
 
     def __init__(
-        self, k: int, queries: np.ndarray, incremental: bool = True
+        self,
+        k: int,
+        queries: np.ndarray,
+        incremental: bool = True,
+        backend: str = "object_index",
     ) -> None:
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != 2:
             raise ConfigurationError("queries must be an (NQ, 2) array")
         self.k = k
         self.queries = queries
-        self._self_join = SelfJoinMonitor(k, incremental=incremental)
+        self.backend = backend
+        self._self_join = SelfJoinMonitor(k, incremental=incremental, backend=backend)
         self._query_grid: Optional[Grid2D] = None
 
     @property

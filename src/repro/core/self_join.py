@@ -6,10 +6,12 @@ it is also the computational core of reverse k-NN monitoring: ``p`` is a
 reverse k-NN of query ``q`` exactly when ``dist(p, q) <= dk(p)``, the
 distance from ``p`` to its own k-th nearest neighbor.
 
-The join runs over a built :class:`~repro.core.object_index.ObjectIndex`
-and supports the same overhaul/incremental duality as ordinary queries:
-the incremental variant seeds each object's critical radius from its
-previous neighbor set (§3.2 applied per object).
+The join runs against any :class:`~repro.engines.snapshot.SnapshotIndex`
+backend (the Grid2D-backed :class:`~repro.core.object_index.ObjectIndex`
+or the vectorized :class:`~repro.core.fast_index.CSRGrid`) and supports
+the same overhaul/incremental duality as ordinary queries: the
+incremental variant seeds each object's critical radius from its previous
+neighbor set (§3.2 applied per object).
 """
 
 from __future__ import annotations
@@ -19,13 +21,18 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engines.snapshot import (
+    SnapshotIndex,
+    make_snapshot,
+    snapshot_knn,
+    snapshot_knn_seeded,
+)
 from ..errors import ConfigurationError, NotEnoughObjectsError
 from .answers import AnswerList
-from .object_index import ObjectIndex
 
 
 def _knn_excluding_self(
-    index: ObjectIndex, object_id: int, k: int
+    index: SnapshotIndex, object_id: int, k: int
 ) -> AnswerList:
     """k-NN of an object among the *other* objects.
 
@@ -34,7 +41,7 @@ def _knn_excluding_self(
     distance zero are handled by filtering on ID, not on distance.
     """
     qx, qy = index.position_of(object_id)
-    raw = index.knn_overhaul(qx, qy, k + 1)
+    raw = snapshot_knn(index, qx, qy, k + 1)
     answers = AnswerList(k)
     for d2, other_id in raw:
         if other_id != object_id:
@@ -42,7 +49,7 @@ def _knn_excluding_self(
     return answers
 
 
-def knn_self_join(index: ObjectIndex, k: int) -> List[AnswerList]:
+def knn_self_join(index: SnapshotIndex, k: int) -> List[AnswerList]:
     """Overhaul k-NN self-join: each object's k nearest other objects."""
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -55,7 +62,7 @@ def knn_self_join(index: ObjectIndex, k: int) -> List[AnswerList]:
 
 
 def knn_self_join_incremental(
-    index: ObjectIndex,
+    index: SnapshotIndex,
     k: int,
     previous: Sequence[Sequence[int]],
 ) -> List[AnswerList]:
@@ -82,7 +89,7 @@ def knn_self_join_incremental(
             out.append(_knn_excluding_self(index, object_id, k))
             continue
         qx, qy = index.position_of(object_id)
-        raw = index.knn_incremental(qx, qy, k + 1, list(seeds) + [object_id])
+        raw = snapshot_knn_seeded(index, qx, qy, k + 1, list(seeds) + [object_id])
         answers = AnswerList(k)
         for d2, other_id in raw:
             if other_id != object_id:
@@ -96,32 +103,34 @@ def knn_self_join_incremental(
 class SelfJoinMonitor:
     """Continuously maintain the k-NN self-join over moving objects.
 
-    The monitor owns its object index (optimal cell size per snapshot) and
-    keeps the previous neighbor sets so steady-state cycles run on the
-    incremental path.
+    The monitor builds a fresh snapshot index per cycle (optimal cell
+    size for the population) and keeps the previous neighbor sets so
+    steady-state cycles run on the incremental path.  ``backend`` picks
+    the :class:`~repro.engines.snapshot.SnapshotIndex` implementation
+    (``"object_index"`` or ``"csr"``); answers are identical either way.
     """
 
-    def __init__(self, k: int, incremental: bool = True) -> None:
+    def __init__(
+        self, k: int, incremental: bool = True, backend: str = "object_index"
+    ) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = k
         self.incremental = incremental
-        self._index: Optional[ObjectIndex] = None
+        self.backend = backend
+        self._index: Optional[SnapshotIndex] = None
         self._previous: List[List[int]] = []
 
     @property
-    def index(self) -> Optional[ObjectIndex]:
+    def index(self) -> Optional[SnapshotIndex]:
         return self._index
 
     def tick(self, positions: np.ndarray) -> List[AnswerList]:
         """Process one snapshot; returns per-object neighbor lists."""
         positions = np.asarray(positions, dtype=np.float64)
-        if self._index is None or self._index.n_objects != len(positions):
-            self._index = ObjectIndex(n_objects=max(1, len(positions)))
-            self._index.build(positions)
+        if self._index is not None and self._index.n_objects != len(positions):
             self._previous = []
-        else:
-            self._index.build(positions)
+        self._index = make_snapshot(positions, self.backend)
         if self.incremental and len(self._previous) == len(positions):
             answers = knn_self_join_incremental(self._index, self.k, self._previous)
         else:

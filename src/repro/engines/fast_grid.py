@@ -1,0 +1,12 @@
+"""Engine-layer home of the vectorized CSR fast-grid engine.
+
+The implementation lives with its kernels in
+:mod:`repro.core.fast_index` (CSR snapshot + ``batch_knn``); this module
+is the engine package's canonical import location for it.
+"""
+
+from __future__ import annotations
+
+from ..core.fast_index import FastGridEngine, StageTimings
+
+__all__ = ["FastGridEngine", "StageTimings"]

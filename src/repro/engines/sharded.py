@@ -1,0 +1,13 @@
+"""Engine-layer home of the stripe-sharded multiprocess engine.
+
+The implementation lives with its worker pool in
+:mod:`repro.shard.engine`; this module is the engine package's canonical
+import location for it.  Importing it pulls in ``multiprocessing``
+machinery, so the registry resolves it lazily by dotted path.
+"""
+
+from __future__ import annotations
+
+from ..shard.engine import ShardedGridEngine
+
+__all__ = ["ShardedGridEngine"]

@@ -35,7 +35,7 @@ def main(argv=None) -> int:
 
     import numpy as np
 
-    from ..bench.runner import make_system
+    from ..engines.registry import build_system
     from .export import cycle_report, prometheus_text, write_history_jsonl
     from .registry import MetricsRegistry
     from .validate import run_validation
@@ -43,7 +43,7 @@ def main(argv=None) -> int:
     rng = np.random.default_rng(args.seed)
     queries = rng.random((args.n_queries, 2))
     registry = MetricsRegistry()
-    system = make_system(args.method, args.k, queries, registry=registry)
+    system = build_system(args.method, args.k, queries, registry=registry)
     system.load(rng.random((args.n_objects, 2)))
     for _ in range(args.cycles):
         system.tick(rng.random((args.n_objects, 2)))

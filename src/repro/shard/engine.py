@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.answers import AnswerList
-from ..core.monitor import BaseEngine
+from ..engines.base import BaseEngine
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
 from ..obs.registry import MetricsRegistry
 from .partition import StripePartition
@@ -94,6 +94,21 @@ class ShardedGridEngine(BaseEngine):
         self._n = 0
         self._shm_name: Optional[str] = None
         self._prev_kth: Optional[np.ndarray] = None
+        self._prev_cycle = -2
+
+    def set_queries(self, queries: np.ndarray) -> None:
+        """Move the query points, dropping the per-query routing seeds.
+
+        ``_prev_kth`` holds each query's k-th-NN distance from the last
+        cycle and seeds the stripe routing positionally; after the
+        queries move those radii describe the *old* positions.  Answers
+        would stay exact regardless (the escalation loop re-routes any
+        query whose seeded radius proves too small), but stale seeds
+        cause avoidable escalation rounds — so invalidate them and let
+        the next cycle take the overhaul route.
+        """
+        super().set_queries(queries)
+        self._prev_kth = None
         self._prev_cycle = -2
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.answers import AnswerList
-from ..core.monitor import BaseEngine
+from ..engines.base import BaseEngine
 from ..errors import IndexStateError
 from .tprtree import TPRTree
 

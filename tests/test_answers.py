@@ -76,11 +76,19 @@ class TestAnswerList:
         answers.clear()
         assert len(answers) == 0
 
-    def test_equal_distance_keeps_existing_on_full(self):
+    def test_equal_distance_resolves_to_lowest_id(self):
+        # Ties at the k-th slot resolve to the lowest ID regardless of
+        # arrival order — the list is a pure function of the candidate
+        # multiset, so different index backends agree exactly.
         answers = AnswerList(1)
         answers.offer(0.2, 1)
-        assert not answers.offer(0.2, 0)
-        assert answers.object_ids() == [1]
+        assert answers.offer(0.2, 0)
+        assert answers.object_ids() == [0]
+        assert not answers.offer(0.2, 1)
+        reversed_order = AnswerList(1)
+        reversed_order.offer(0.2, 0)
+        assert not reversed_order.offer(0.2, 1)
+        assert reversed_order.object_ids() == [0]
 
     def test_iteration_yields_sorted_pairs(self):
         answers = AnswerList(3)
