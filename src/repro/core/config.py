@@ -129,6 +129,18 @@ class FastGridConfig(MethodConfig):
 
 
 @dataclass(frozen=True)
+class DeltaGridConfig(MethodConfig):
+    """Incremental delta-CSR engine with dirty-region answer reuse."""
+
+    method = "delta_grid"
+    ncells: Optional[int] = None
+    delta: Optional[float] = None
+    patch_threshold: float = 0.3
+    slack: float = 0.5
+    reuse: bool = True
+
+
+@dataclass(frozen=True)
 class TPRConfig(MethodConfig):
     """Predictive TPR-tree engine (related-work baseline)."""
 
@@ -148,6 +160,7 @@ class ShardedConfig(MethodConfig):
     seed_slack: float = 0.5
     task_timeout: float = 60.0
     heartbeat_every: int = 0
+    oversubscribe: bool = False
 
 
 #: Public method name -> config class; the single method registry.
@@ -160,6 +173,7 @@ METHOD_CONFIGS: Dict[str, Type[MethodConfig]] = {
         RTreeConfig,
         BruteForceConfig,
         FastGridConfig,
+        DeltaGridConfig,
         TPRConfig,
         ShardedConfig,
     )

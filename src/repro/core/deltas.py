@@ -10,8 +10,9 @@ for a whole query workload across cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.registry import NULL_REGISTRY, MetricsRegistry
 from .answers import Neighbor, QueryAnswer
 
 
@@ -56,10 +57,17 @@ class DeltaTracker:
     Feed it the :class:`QueryAnswer` lists produced by
     :meth:`~repro.core.monitor.MonitoringSystem.tick`; it returns the
     deltas against the previous cycle and accumulates churn statistics.
+
+    Passing a :class:`~repro.obs.registry.MetricsRegistry` emits the
+    churn as ``delta_tracker.*`` counters alongside the engine's own
+    ``delta.*`` counters, which is what lets the cost-model validation
+    (:func:`repro.obs.validate.run_delta_validation`) cross-check answer
+    reuse against *observed* answer changes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._previous: Dict[int, Tuple[Neighbor, ...]] = {}
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.cycles = 0
         self.total_churn = 0
         self.total_changed = 0
@@ -70,15 +78,28 @@ class DeltaTracker:
         The first cycle reports every non-empty answer as fully "entered".
         """
         deltas: List[AnswerDelta] = []
+        entered = left = reordered = changed = 0
         for qa in answers:
             previous = self._previous.get(qa.query_id, ())
             delta = answer_delta(qa.query_id, previous, qa.neighbors)
             deltas.append(delta)
             self._previous[qa.query_id] = qa.neighbors
             self.total_churn += delta.churn
+            entered += len(delta.entered)
+            left += len(delta.left)
+            reordered += int(delta.reordered)
             if delta.changed:
                 self.total_changed += 1
+                changed += 1
         self.cycles += 1
+        registry = self.registry
+        registry.inc("delta_tracker.cycles")
+        registry.inc("delta_tracker.answers", len(deltas))
+        registry.inc("delta_tracker.entered", entered)
+        registry.inc("delta_tracker.left", left)
+        registry.inc("delta_tracker.reordered", reordered)
+        registry.inc("delta_tracker.changed_queries", changed)
+        registry.inc("delta_tracker.churn", entered + left)
         return deltas
 
     def mean_churn_per_cycle(self) -> float:

@@ -175,6 +175,20 @@ class CSRGrid:
             p[jhi + 1, ihi + 1] - p[jlo, ihi + 1] - p[jhi + 1, ilo] + p[jlo, ilo]
         )
 
+    def pair_candidates(
+        self, cand: np.ndarray, px: np.ndarray, py: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, d2)`` of candidate CSR slots against per-pair query coords.
+
+        The one snapshot-layout-specific step of :func:`batch_knn`: a
+        :class:`CSRGrid` reads its permuted coordinate copies, while the
+        delta grid (:mod:`repro.core.delta_index`) resolves coordinates
+        lazily through its slot->object indirection and masks slack gaps.
+        """
+        pdx = self.xs[cand] - px
+        pdy = self.ys[cand] - py
+        return self.ids[cand], pdx * pdx + pdy * pdy
+
     # ------------------------------------------------------------------
     # SnapshotIndex protocol (repro.engines.snapshot) — scalar accessors
     # used by the index-agnostic workload operators.  The batched fast
@@ -234,8 +248,11 @@ class BatchKNNResult:
 
     ``top_d2``/``top_ids`` are ``(nq, k)`` arrays in the *caller's* query
     order; when the region holds fewer than ``k`` objects the tail
-    columns are padded with ``inf`` / ``-1``.  ``timings`` maps the
-    answering stages (``radii``/``gather``/``select``) to seconds and
+    columns are padded with ``inf`` / ``-1``.  ``rects`` is the ``(nq, 4)``
+    array of per-query critical rectangles ``(ilo, jlo, ihi, jhi)`` in
+    clamped cell coordinates — the delta engine intersects them with the
+    next cycle's dirty-cell set to decide answer reuse.  ``timings`` maps
+    the answering stages (``radii``/``gather``/``select``) to seconds and
     ``stats`` carries the algorithmic counters of the pass.
     """
 
@@ -243,6 +260,7 @@ class BatchKNNResult:
     top_ids: np.ndarray
     timings: Dict[str, float]
     stats: Dict[str, int]
+    rects: Optional[np.ndarray] = None
 
 
 def _empty_result(nq: int, k: int) -> BatchKNNResult:
@@ -251,6 +269,7 @@ def _empty_result(nq: int, k: int) -> BatchKNNResult:
         np.full((nq, k), -1, dtype=np.intp),
         {"radii": 0.0, "gather": 0.0, "select": 0.0},
         {"ring_passes": 0, "groups": 0, "candidates": 0, "pairs": 0, "dense": 0},
+        np.zeros((nq, 4), dtype=np.intp),
     )
 
 
@@ -260,6 +279,7 @@ def batch_knn(
     qy: np.ndarray,
     k: int,
     tracer: Tracer = None,
+    seed_level: Optional[np.ndarray] = None,
 ) -> BatchKNNResult:
     """Exact batched k-NN of every query against one CSR region snapshot.
 
@@ -270,6 +290,12 @@ def batch_knn(
     ``inf`` distances and ``-1`` IDs (the sharded merge relies on this).
     Queries may lie outside the region; their home cell clamps to the
     nearest edge cell, which preserves exactness (see module docstring).
+
+    ``seed_level`` optionally starts each query's ring growth at a given
+    level instead of 0 (the delta engine seeds it from the previous
+    cycle's k-th distance).  Any seed is exact: growth still stops only
+    at a rectangle holding >= k objects, and a too-large seed merely
+    enlarges the candidate superset the exact selection then reduces.
     """
     if tracer is None:
         tracer = Tracer(NULL_REGISTRY)
@@ -293,24 +319,34 @@ def batch_knn(
         # Vectorized ring growth: every query still short of k objects
         # grows its rectangle R(cq, l) by one ring per pass; the
         # prefix-sum makes each pass O(NQ) with no per-object work.
-        level = np.zeros(nq, dtype=np.intp)
-        counts = csr.count_in_rects(qi, qj, qi, qj)
+        if seed_level is None:
+            level = np.zeros(nq, dtype=np.intp)
+        else:
+            level = np.clip(
+                np.asarray(seed_level, dtype=np.intp), 0, max(nx, ny)
+            )
+        counts = csr.count_in_rects(
+            np.maximum(qi - level, 0),
+            np.maximum(qj - level, 0),
+            np.minimum(qi + level, nx - 1),
+            np.minimum(qj + level, ny - 1),
+        )
         active = counts < k_eff
         l = 0
         while active.any():
             l += 1
             if l > max(nx, ny):  # pragma: no cover - k_eff <= n_objects makes this unreachable
                 raise NotEnoughObjectsError(k, csr.n_objects)
-            ai, aj = qi[active], qj[active]
+            level[active] += 1
+            ai, aj, al = qi[active], qj[active], level[active]
             acounts = csr.count_in_rects(
-                np.maximum(ai - l, 0),
-                np.maximum(aj - l, 0),
-                np.minimum(ai + l, nx - 1),
-                np.minimum(aj + l, ny - 1),
+                np.maximum(ai - al, 0),
+                np.maximum(aj - al, 0),
+                np.minimum(ai + al, nx - 1),
+                np.minimum(aj + al, ny - 1),
             )
             done = acounts >= k_eff
             idx = np.nonzero(active)[0]
-            level[idx[done]] = l
             active[idx[done]] = False
 
         # lcrit: distance from q to the farthest corner of the clamped R0.
@@ -386,10 +422,9 @@ def batch_knn(
 
         sqx = qx[qorder]
         sqy = qy[qorder]
-        pdx = csr.xs[pair_cand] - sqx[pair_qpos]
-        pdy = csr.ys[pair_cand] - sqy[pair_qpos]
-        pair_d2 = pdx * pdx + pdy * pdy
-        pair_ids = csr.ids[pair_cand]
+        pair_ids, pair_d2 = csr.pair_candidates(
+            pair_cand, sqx[pair_qpos], sqy[pair_qpos]
+        )
 
     # ---- stage: select ------------------------------------------------
     with tracer.span("select") as span_select:
@@ -442,6 +477,7 @@ def batch_knn(
             "pairs": npairs,
             "dense": int(dense),
         },
+        np.column_stack((ilo, jlo, ihi, jhi)),
     )
 
 

@@ -25,6 +25,8 @@ Factory                      Paper method
 ``brute_force``              linear-scan oracle (not in the paper; testing)
 ``fast_grid``                vectorized CSR + batched answering (production
                              fast path, not a paper method; see fast_index)
+``delta_grid``               incremental delta-CSR + dirty-region answer
+                             reuse (§3.2 insight, vectorized; delta_index)
 ``sharded``                  stripe-sharded multiprocess engine (production
                              scale-out path; see :mod:`repro.shard`)
 ===========================  ==================================================
@@ -162,6 +164,18 @@ class MonitoringSystem:
         :mod:`repro.core.fast_index`.
         """
         return cls.create("fast_grid", k, queries, tau=tau, registry=registry, **options)
+
+    @classmethod
+    def delta_grid(cls, k, queries, *, tau=1.0, registry=None, **options):
+        """Incrementally maintained CSR engine with answer reuse.
+
+        Same exact answers as ``fast_grid`` (bit-identical, ties broken
+        by object ID) but the snapshot is patched or counting-sort
+        rebuilt in place instead of rebuilt from scratch, and queries
+        whose critical rectangle saw no change carry their previous
+        answer forward.  See :mod:`repro.core.delta_index`.
+        """
+        return cls.create("delta_grid", k, queries, tau=tau, registry=registry, **options)
 
     @classmethod
     def sharded(cls, k, queries, *, tau=1.0, registry=None, **options):

@@ -1,0 +1,13 @@
+"""Engine-layer home of the incremental delta-CSR engine.
+
+The implementation lives with its kernels in
+:mod:`repro.core.delta_index` (incrementally maintained CSR snapshot +
+dirty-region answer reuse); this module is the engine package's
+canonical import location for it.
+"""
+
+from __future__ import annotations
+
+from ..core.delta_index import DeltaCSRGrid, DeltaGridEngine, DeltaUpdateStats
+
+__all__ = ["DeltaCSRGrid", "DeltaGridEngine", "DeltaUpdateStats"]

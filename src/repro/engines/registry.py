@@ -30,6 +30,7 @@ ENGINE_PATHS: Dict[str, Tuple[str, str]] = {
     "rtree": ("repro.engines.rtree_engine", "RTreeEngine"),
     "brute_force": ("repro.engines.brute", "BruteForceEngine"),
     "fast_grid": ("repro.engines.fast_grid", "FastGridEngine"),
+    "delta_grid": ("repro.engines.delta_grid", "DeltaGridEngine"),
     "tpr": ("repro.tprtree.engine", "TPREngine"),
     "sharded": ("repro.engines.sharded", "ShardedGridEngine"),
 }
@@ -82,6 +83,7 @@ BENCH_PRESETS: Dict[str, Tuple[str, Dict[str, object]]] = {
     "brute_force": ("brute_force", {}),
     "tpr_predictive": ("tpr", {}),
     "fast_grid": ("fast_grid", {}),
+    "delta_grid": ("delta_grid", {}),
     "sharded": ("sharded", {}),
 }
 

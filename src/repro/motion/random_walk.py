@@ -39,6 +39,11 @@ class RandomWalkModel:
         ``reflect`` (default), ``wrap`` (torus), or ``clip``.
     seed:
         Seed for the internal random generator.
+    update_fraction:
+        Fraction of objects that move each cycle (default 1.0 — every
+        object, the paper's setting).  Lower values model workloads
+        where most objects report unchanged positions, the regime the
+        ``delta_grid`` engine's patch path and answer reuse target.
     """
 
     def __init__(
@@ -46,6 +51,7 @@ class RandomWalkModel:
         vmax: float = 0.005,
         boundary: str = "reflect",
         seed: Optional[int] = None,
+        update_fraction: float = 1.0,
     ) -> None:
         if vmax < 0.0:
             raise ConfigurationError(f"vmax must be >= 0, got {vmax}")
@@ -53,18 +59,28 @@ class RandomWalkModel:
             raise ConfigurationError(
                 f"boundary must be one of {_BOUNDARIES}, got {boundary!r}"
             )
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ConfigurationError(
+                f"update_fraction must be in [0, 1], got {update_fraction}"
+            )
         self.vmax = vmax
         self.boundary = boundary
+        self.update_fraction = update_fraction
         self._rng = np.random.default_rng(seed)
 
     def step(self, positions: np.ndarray) -> np.ndarray:
         """One cycle of motion; returns a new positions array."""
         positions = np.asarray(positions, dtype=np.float64)
-        if self.vmax == 0.0:
+        if self.vmax == 0.0 or self.update_fraction == 0.0:
             return positions.copy()
         displaced = positions + self._rng.uniform(
             -self.vmax, self.vmax, size=positions.shape
         )
+        if self.update_fraction < 1.0:
+            # Drawn *after* the displacements so update_fraction=1.0
+            # replays the exact legacy stream for any given seed.
+            frozen = self._rng.random(len(positions)) >= self.update_fraction
+            displaced[frozen] = positions[frozen]
         if self.boundary == "reflect":
             moved = reflect_into_unit(displaced)
         elif self.boundary == "wrap":

@@ -30,7 +30,8 @@ def main(argv=None) -> int:
     parser.add_argument("--prometheus", metavar="PATH",
                         help="write a Prometheus text dump here")
     parser.add_argument("--validate", action="store_true",
-                        help="also run the cost-model validation check")
+                        help="also run the cost-model validation checks "
+                             "(overhaul counters + delta-grid answer reuse)")
     args = parser.parse_args(argv)
 
     import numpy as np
@@ -38,7 +39,7 @@ def main(argv=None) -> int:
     from ..engines.registry import build_system
     from .export import cycle_report, prometheus_text, write_history_jsonl
     from .registry import MetricsRegistry
-    from .validate import run_validation
+    from .validate import run_delta_validation, run_validation
 
     rng = np.random.default_rng(args.seed)
     queries = rng.random((args.n_queries, 2))
@@ -57,15 +58,25 @@ def main(argv=None) -> int:
             handle.write(prometheus_text(registry))
         print(f"wrote Prometheus dump to {args.prometheus}")
     if args.validate:
-        report = run_validation(
-            n_objects=args.n_objects,
-            n_queries=args.n_queries,
-            k=args.k,
-            seed=args.seed,
-        )
-        print()
-        print(report.render())
-        if not report.ok:
+        failed = False
+        for report in (
+            run_validation(
+                n_objects=args.n_objects,
+                n_queries=args.n_queries,
+                k=args.k,
+                seed=args.seed,
+            ),
+            run_delta_validation(
+                n_objects=args.n_objects,
+                n_queries=args.n_queries,
+                k=args.k,
+                seed=args.seed,
+            ),
+        ):
+            print()
+            print(report.render())
+            failed = failed or not report.ok
+        if failed:
             return 1
     return 0
 

@@ -35,6 +35,7 @@ tie-break stays global.
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
@@ -66,11 +67,24 @@ class ShardedGridEngine(BaseEngine):
         seed_slack: float = 0.5,
         task_timeout: float = 60.0,
         heartbeat_every: int = 0,
+        oversubscribe: bool = False,
     ) -> None:
         super().__init__(k, queries)
         workers = int(workers)
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        # More worker processes than cores buys nothing for CPU-bound
+        # shard tasks and multiplies snapshot-attach and scheduling
+        # overhead, so the effective pool is capped at the machine size
+        # unless the caller explicitly opts into oversubscription
+        # (useful for fault-injection tests and CI boxes).
+        self.requested_workers = workers
+        self.oversubscribe = bool(oversubscribe)
+        cpu_cap = os.cpu_count() or 1
+        self.worker_cap_applied = not self.oversubscribe and workers > cpu_cap
+        if self.worker_cap_applied:
+            workers = cpu_cap
+        self._cap_reported = False
         if shards is None:
             # One stripe per worker; with workers=0 the serial fallback
             # still shards (smaller per-stripe sorts are a win on their
@@ -90,6 +104,7 @@ class ShardedGridEngine(BaseEngine):
         self.partition = StripePartition(shards)
         self._pool: Optional[ShardWorkerPool] = None
         self._serial_cache: CSRCache = {}
+        self._deferred_index_seconds = 0.0
         self._cycle = -1
         self._n = 0
         self._shm_name: Optional[str] = None
@@ -160,7 +175,10 @@ class ShardedGridEngine(BaseEngine):
     # Cycle contract
     # ------------------------------------------------------------------
     def load(self, positions: np.ndarray) -> None:
-        self._cycle = -1
+        # The cycle counter stays monotonic across reloads on purpose:
+        # worker-side stripe caches are tagged by cycle, and rewinding it
+        # could collide a fresh snapshot with a cached one from a
+        # previous run.  Dropping the seeds is what makes this a reload.
         self._prev_kth = None
         self._prev_cycle = -2
         self.maintain(positions)
@@ -172,6 +190,9 @@ class ShardedGridEngine(BaseEngine):
         self._cycle += 1
         self._positions = positions
         self._n = len(positions)
+        if self.worker_cap_applied and not self._cap_reported:
+            self.metrics.inc("shard.worker_cap_applied")
+            self._cap_reported = True
         if self.workers > 0:
             pool = self._ensure_pool()
             if (
@@ -181,8 +202,9 @@ class ShardedGridEngine(BaseEngine):
                 pool.ping(timeout=self.task_timeout)
             with self.tracer.span("shm_write"):
                 self._shm_name, _ = pool.write_snapshot(positions)
-        else:
-            self._serial_cache.clear()
+        # Serial mode: the stripe cache deliberately survives the cycle —
+        # the per-stripe delta grids update themselves incrementally in
+        # run_shard_task when the new cycle's first task arrives.
 
     def answer(self) -> List[AnswerList]:
         if self._positions is None:
@@ -240,6 +262,10 @@ class ShardedGridEngine(BaseEngine):
                 results = self._run_tasks(assignments, qx, qy)
             dispatch_seconds += perf_counter() - t0
             for out in results:
+                # Stripe index maintenance runs lazily inside the first
+                # task of the cycle, i.e. during answer(); record it so
+                # the pipeline can attribute it to the index phase.
+                self._deferred_index_seconds += float(out["build_seconds"])
                 qidx = out["qidx"]
                 d2 = out["top_d2"]
                 ids = out["top_ids"]
@@ -272,10 +298,26 @@ class ShardedGridEngine(BaseEngine):
 
         metrics.inc("shard.dispatch_seconds", dispatch_seconds)
         metrics.inc("shard.merge_seconds", merge_seconds)
+        metrics.inc("shard.build_seconds", self._deferred_index_seconds)
         metrics.inc("shard.rounds", rounds)
         if metrics.enabled:
             metrics.set_gauge("shard.last_rounds", rounds)
         return answers
+
+    def pop_deferred_index_seconds(self) -> float:
+        """Index-build seconds spent inside :meth:`answer`, then reset.
+
+        Stripe snapshots are (re)indexed lazily by the first task of the
+        cycle that reaches each shard, which executes during the answer
+        phase.  :class:`~repro.engines.base.CyclePipeline` pulls this
+        after every cycle and moves it from answer time to index time,
+        so sharded cycle records attribute maintenance like every other
+        engine.  In pool mode the builds overlap wall-clock, so the sum
+        is clamped to the measured answer time by the caller.
+        """
+        seconds = self._deferred_index_seconds
+        self._deferred_index_seconds = 0.0
+        return seconds
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,17 +1,27 @@
-"""Stateless shard tasks: build one stripe's CSR snapshot, answer queries.
+"""Shard tasks: maintain one stripe's delta-CSR snapshot, answer queries.
 
 One *cycle task* asks a worker to (a) select the objects of one stripe
-out of the shared-memory snapshot, (b) build a region-aware
-:class:`~repro.core.fast_index.CSRGrid` over the stripe, and (c) run
-:func:`~repro.core.fast_index.batch_knn` for the queries routed to it.
-Escalation rounds of the same cycle hit the worker's ``(cycle, shard)``
-CSR cache, so the snapshot is indexed at most once per shard per cycle
-no matter how many query batches arrive.
+out of the shared-memory snapshot, (b) bring a region-aware
+:class:`~repro.core.delta_index.DeltaCSRGrid` over the stripe up to
+date, and (c) run :func:`~repro.core.fast_index.batch_knn` for the
+queries routed to it.  The worker's cache keeps one *persistent* grid
+per stripe across cycles: a new cycle incrementally updates it
+(``grid.update(positions, member_idx=sel)`` — objects entering or
+leaving the stripe are ordinary movers to the delta index), and
+escalation rounds of the same cycle reuse it as-is, so the snapshot is
+indexed at most once per shard per cycle no matter how many query
+batches arrive.
+
+Stripe grids run with ``track_dirty=False``: the snapshot arrives as a
+view over a shared-memory buffer that the parent rewrites in place, so
+old-coordinate comparisons would be unsound.  Mover detection stays
+exact regardless — it diffs against the grid's own stored cell
+assignments, not against the position buffer.
 
 Tasks carry everything they need (shard id, shard count, k, query
 coordinates) so a re-dispatched task after a worker crash is exactly the
-original payload sent to a fresh process — no worker state survives a
-crash, and none needs to.
+original payload sent to a fresh process — a fresh process just pays one
+full rebuild before returning the same answers.
 
 The same :func:`run_shard_task` powers the ``workers=0`` serial
 fallback: the engine calls it in-process with its own cache dict, which
@@ -25,11 +35,15 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..core.delta_index import DeltaCSRGrid
 from ..core.fast_index import CSRGrid, batch_knn
 from .partition import StripePartition, shard_grid_shape
 
-#: Worker-side CSR cache type: ``(cycle, shard) -> CSRGrid``.
-CSRCache = Dict[Tuple[int, int], CSRGrid]
+#: Worker-side stripe-grid cache type: ``shard -> (cycle, grid)``.  The
+#: grid persists across cycles (that is the point — it updates itself
+#: incrementally); the cycle tag tells an escalation round of the same
+#: cycle that no maintenance is needed.
+CSRCache = Dict[int, Tuple[int, DeltaCSRGrid]]
 
 
 def build_shard_csr(
@@ -73,15 +87,33 @@ def run_shard_task(
     k = int(task["k"])
 
     t0 = perf_counter()
-    key = (cycle, shard)
-    csr = cache.get(key) if cache is not None else None
-    if csr is None:
-        csr = build_shard_csr(positions, shard, n_shards)
+    entry = cache.get(shard) if cache is not None else None
+    if entry is not None and entry[0] == cycle:
+        csr = entry[1]  # escalation round: snapshot already current
+    else:
+        partition = StripePartition(n_shards)
+        sel = np.flatnonzero(partition.shard_of(positions[:, 0]) == shard)
+        nx, ny = shard_grid_shape(len(sel), n_shards)
+        if (
+            entry is not None
+            and entry[1].nx == nx
+            and entry[1].ny == ny
+        ):
+            csr = entry[1]
+            csr.update(positions, member_idx=sel)
+        else:
+            # First cycle, respawned worker, or the stripe population
+            # shifted enough to change the grid resolution.
+            csr = DeltaCSRGrid(
+                positions,
+                region=partition.region(shard),
+                nx=nx,
+                ny=ny,
+                track_dirty=False,
+                member_idx=sel,
+            )
         if cache is not None:
-            # Snapshots of past cycles can never be asked for again.
-            for stale in [key2 for key2 in cache if key2[0] != cycle]:
-                del cache[stale]
-            cache[key] = csr
+            cache[shard] = (cycle, csr)
     build_seconds = perf_counter() - t0
 
     t0 = perf_counter()

@@ -23,7 +23,7 @@ class TestRegistry:
     def test_every_method_has_a_config_class(self):
         expected = {
             "object_indexing", "query_indexing", "hierarchical", "rtree",
-            "brute_force", "fast_grid", "tpr", "sharded",
+            "brute_force", "fast_grid", "delta_grid", "tpr", "sharded",
         }
         assert set(METHOD_CONFIGS) == expected
         for name, cls in METHOD_CONFIGS.items():
@@ -63,20 +63,23 @@ class TestRegistry:
 
 class TestCreate:
     @pytest.mark.parametrize(
-        "method,engine_name",
+        "method,engine_name,options",
         [
-            ("object_indexing", "object-indexing/rebuild/overhaul"),
-            ("query_indexing", "query-indexing/incremental"),
-            ("hierarchical", "hierarchical/incremental/incremental"),
-            ("rtree", "rtree/overhaul"),
-            ("brute_force", "brute-force"),
-            ("fast_grid", "fast-grid"),
-            ("tpr", "tprtree/predictive"),
-            ("sharded", "sharded/2w2s"),
+            ("object_indexing", "object-indexing/rebuild/overhaul", {}),
+            ("query_indexing", "query-indexing/incremental", {}),
+            ("hierarchical", "hierarchical/incremental/incremental", {}),
+            ("rtree", "rtree/overhaul", {}),
+            ("brute_force", "brute-force", {}),
+            ("fast_grid", "fast-grid", {}),
+            ("delta_grid", "delta-grid", {}),
+            ("tpr", "tprtree/predictive", {}),
+            # oversubscribe makes the effective worker count (and so the
+            # engine name) independent of the CI box's core count.
+            ("sharded", "sharded/2w2s", {"oversubscribe": True}),
         ],
     )
-    def test_create_builds_every_method(self, method, engine_name):
-        system = MonitoringSystem.create(method, 2, QUERIES)
+    def test_create_builds_every_method(self, method, engine_name, options):
+        system = MonitoringSystem.create(method, 2, QUERIES, **options)
         try:
             assert system.engine.name == engine_name
         finally:

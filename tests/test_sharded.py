@@ -131,8 +131,10 @@ class TestEquivalence:
         [
             ("serial-1shard", {"workers": 0, "shards": 1}),
             ("serial-4shards", {"workers": 0, "shards": 4}),
-            ("pool-2w2s", {"workers": 2, "shards": 2}),
-            ("pool-2w5s", {"workers": 2, "shards": 5}),
+            # oversubscribe: the pool tests need two real workers even on
+            # single-core CI boxes, where the default cap would shrink them.
+            ("pool-2w2s", {"workers": 2, "shards": 2, "oversubscribe": True}),
+            ("pool-2w5s", {"workers": 2, "shards": 5, "oversubscribe": True}),
         ],
     )
     def test_sharded_matches_brute_force(self, reference, label, options):
@@ -212,6 +214,52 @@ class TestContracts:
         engine.load(np.random.default_rng(0).random((10, 2)))
         assert engine.answer() == []
 
+    def test_worker_cap_defaults_to_cpu_count(self):
+        queries = np.array([[0.5, 0.5]])
+        ncpu = os.cpu_count() or 1
+        capped = ShardedGridEngine(2, queries, workers=ncpu + 3)
+        assert capped.requested_workers == ncpu + 3
+        assert capped.workers == ncpu
+        assert capped.worker_cap_applied
+        # Shards default from the *effective* worker count.
+        assert capped.n_shards == ncpu
+        forced = ShardedGridEngine(2, queries, workers=ncpu + 3, oversubscribe=True)
+        assert forced.workers == ncpu + 3
+        assert not forced.worker_cap_applied
+        serial = ShardedGridEngine(2, queries, workers=0)
+        assert not serial.worker_cap_applied
+
+    def test_worker_cap_emits_warning_counter(self):
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(9)
+        ncpu = os.cpu_count() or 1
+        system = MonitoringSystem.sharded(
+            2, rng.random((3, 2)), workers=ncpu + 3, registry=registry
+        )
+        with system:
+            system.load(rng.random((50, 2)))
+            system.tick(rng.random((50, 2)))
+        # One warning per engine lifetime, not one per cycle.
+        assert registry.counter("shard.worker_cap_applied") == 1
+
+    def test_build_time_attributed_to_index_phase(self):
+        # The stripe indexes build lazily inside answer(); the pipeline
+        # must move those seconds into the cycle's index time.
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(13)
+        system = MonitoringSystem.sharded(
+            3, rng.random((10, 2)), workers=0, shards=2, registry=registry
+        )
+        with system:
+            system.load(rng.random((5000, 2)))
+            system.tick(rng.random((5000, 2)))
+        assert registry.counter("shard.build_seconds") > 0.0
+        record = system.last_stats
+        assert record.index_time > 0.0
+        assert record.answer_time >= 0.0
+        # The engine's accumulator is drained each cycle.
+        assert system.engine.pop_deferred_index_seconds() == 0.0
+
     def test_metrics_emitted(self):
         registry = MetricsRegistry()
         rng = np.random.default_rng(5)
@@ -242,7 +290,8 @@ class TestFaultTolerance:
         queries = rng.random((self.NQ, 2))
         registry = MetricsRegistry()
         system = MonitoringSystem.sharded(
-            self.K, queries, workers=2, shards=4, registry=registry
+            self.K, queries, workers=2, shards=4, registry=registry,
+            oversubscribe=True,
         )
         with system:
             system.load(positions)
@@ -261,7 +310,7 @@ class TestFaultTolerance:
         positions = rng.random((60_000, 2))
         queries = rng.random((self.NQ, 2))
         system = MonitoringSystem.sharded(
-            self.K, queries, workers=2, shards=4
+            self.K, queries, workers=2, shards=4, oversubscribe=True
         )
         with system:
             system.load(positions)
@@ -288,7 +337,7 @@ class TestFaultTolerance:
     def test_heartbeat_detects_and_respawns(self):
         rng = np.random.default_rng(23)
         system = MonitoringSystem.sharded(
-            2, rng.random((4, 2)), workers=2, shards=2
+            2, rng.random((4, 2)), workers=2, shards=2, oversubscribe=True
         )
         with system:
             system.load(rng.random((100, 2)))
