@@ -45,8 +45,10 @@ from repro.obs import (
     NULL_TRACER,
     MetricsRegistry,
     NullRegistry,
+    WorkerTelemetry,
     write_history_jsonl,
 )
+from repro.obs.remote import ANSWER_SPAN, BUILD_SPAN
 from repro.obs.tracing import _NULL_SPAN
 
 
@@ -56,14 +58,16 @@ class _CountingNullRegistry(NullRegistry):
     def __init__(self) -> None:
         super().__init__()
         self.emissions = 0
+        self.by_name: Dict[str, int] = {}
 
-    def inc(self, name, amount=1.0):
+    def inc(self, name, amount=1.0, labels=None):
+        self.emissions += 1
+        self.by_name[name] = self.by_name.get(name, 0) + 1
+
+    def set_gauge(self, name, value, labels=None):
         self.emissions += 1
 
-    def set_gauge(self, name, value):
-        self.emissions += 1
-
-    def observe(self, name, value, bounds=None):
+    def observe(self, name, value, bounds=None, labels=None):
         self.emissions += 1
 
 
@@ -98,6 +102,19 @@ def measure_noop_costs(n: int = 200_000) -> Dict[str, float]:
         NULL_REGISTRY.inc("x", 1.0)
     inc_cost = (perf_counter() - start) / n
 
+    # The sharded worker's disabled path per task: a begin(False) plus the
+    # two timing spans (real Tracer on the null registry — they measure
+    # wall time for the build/answer split but record nowhere).
+    telemetry = WorkerTelemetry()
+    start = perf_counter()
+    for _ in range(n // 10):
+        tracer = telemetry.begin(False)
+        with tracer.span(BUILD_SPAN):
+            pass
+        with tracer.span(ANSWER_SPAN):
+            pass
+    task_cost = (perf_counter() - start) / (n // 10)
+
     start = perf_counter()
     for _ in range(n):
         pass
@@ -105,7 +122,17 @@ def measure_noop_costs(n: int = 200_000) -> Dict[str, float]:
     return {
         "span_noop_s": max(span_cost - loop_cost, 0.0),
         "inc_noop_s": max(inc_cost - loop_cost, 0.0),
+        "task_noop_s": max(task_cost - loop_cost, 0.0),
     }
+
+
+def _engine_config(method: str, workers: int) -> Dict:
+    if method != "sharded":
+        return {}
+    # Oversubscribe so --workers 2 means two real processes even on a
+    # single-core CI box — the gate is about instrumentation cost, and
+    # the cross-process shipping path only exists with workers > 0.
+    return {"workers": workers, "oversubscribe": True}
 
 
 def _one_run(
@@ -116,41 +143,62 @@ def _one_run(
     cycles: int,
     seed: int,
     instrumented: bool,
+    workers: int = 2,
 ):
     positions = make_dataset("uniform", n_objects, seed=seed)
     queries = make_queries(n_queries, seed=seed + 1)
     motion = RandomWalkModel(vmax=0.005, seed=seed + 2)
     kwargs = {"registry": MetricsRegistry()} if instrumented else {}
+    kwargs.update(_engine_config(method, workers))
     system = build_system(method, k, queries, **kwargs)
-    timing = measure_cycles(system, positions, motion, cycles=cycles)
+    try:
+        timing = measure_cycles(system, positions, motion, cycles=cycles)
+    finally:
+        system.close()  # worker pools must not outlive their measurement
     return timing, system
 
 
 def count_disabled_emissions(
-    method: str, n_objects: int, n_queries: int, k: int, cycles: int, seed: int
+    method: str,
+    n_objects: int,
+    n_queries: int,
+    k: int,
+    cycles: int,
+    seed: int,
+    workers: int = 2,
 ) -> Dict[str, float]:
     """Exact no-op emission counts per steady-state cycle.
 
     Runs the workload once with counting null objects swapped in: their
     ``enabled`` is False, so every guard and branch takes exactly the
     production disabled path, and each surviving no-op call is tallied.
+    ``tasks_per_cycle`` counts dispatched shard tasks (zero for
+    single-process methods) — each one costs the worker-side disabled
+    path (a telemetry ``begin`` plus two unrecorded timing spans) that
+    parent-side counting cannot see.
     """
     positions = make_dataset("uniform", n_objects, seed=seed)
     queries = make_queries(n_queries, seed=seed + 1)
     motion = RandomWalkModel(vmax=0.005, seed=seed + 2)
-    system = build_system(method, k, queries)
+    system = build_system(method, k, queries, **_engine_config(method, workers))
     registry = _CountingNullRegistry()
     tracer = _CountingNullTracer()
     system.pipeline.bind(registry, tracer)
-    system.load(positions)
-    spans_before = tracer.emissions
-    incs_before = registry.emissions
-    for _ in range(cycles):
-        positions = motion.step(positions)
-        system.tick(positions)
+    try:
+        system.load(positions)
+        spans_before = tracer.emissions
+        incs_before = registry.emissions
+        tasks_before = registry.by_name.get("shard.tasks", 0)
+        for _ in range(cycles):
+            positions = motion.step(positions)
+            system.tick(positions)
+        tasks = registry.by_name.get("shard.tasks", 0) - tasks_before
+    finally:
+        system.close()
     return {
         "spans_per_cycle": (tracer.emissions - spans_before) / cycles,
         "incs_per_cycle": (registry.emissions - incs_before) / cycles,
+        "tasks_per_cycle": tasks / cycles,
     }
 
 
@@ -162,21 +210,22 @@ def bench_overhead(
     cycles: int,
     repeats: int,
     seed: int,
+    workers: int = 2,
 ) -> Dict:
     """Interleaved enabled/disabled repeats; min-of-repeats comparison."""
     # Warm-up pair (allocator pools, numpy internals, import side effects).
-    _one_run(method, n_objects, n_queries, k, cycles, seed, False)
-    _one_run(method, n_objects, n_queries, k, cycles, seed, True)
+    _one_run(method, n_objects, n_queries, k, cycles, seed, False, workers)
+    _one_run(method, n_objects, n_queries, k, cycles, seed, True, workers)
 
     disabled: List[float] = []
     enabled: List[float] = []
     last_instrumented = None
     for repeat in range(repeats):
         timing_off, _ = _one_run(
-            method, n_objects, n_queries, k, cycles, seed + repeat, False
+            method, n_objects, n_queries, k, cycles, seed + repeat, False, workers
         )
         timing_on, system_on = _one_run(
-            method, n_objects, n_queries, k, cycles, seed + repeat, True
+            method, n_objects, n_queries, k, cycles, seed + repeat, True, workers
         )
         disabled.append(timing_off.total_time)
         enabled.append(timing_on.total_time)
@@ -186,13 +235,16 @@ def bench_overhead(
     best_on = min(enabled)
 
     emissions = count_disabled_emissions(
-        method, n_objects, n_queries, k, cycles, seed
+        method, n_objects, n_queries, k, cycles, seed, workers
     )
     spans_per_cycle = emissions["spans_per_cycle"]
     incs_per_cycle = emissions["incs_per_cycle"]
+    tasks_per_cycle = emissions["tasks_per_cycle"]
     noop = measure_noop_costs()
     disabled_emission_cost = (
-        spans_per_cycle * noop["span_noop_s"] + incs_per_cycle * noop["inc_noop_s"]
+        spans_per_cycle * noop["span_noop_s"]
+        + incs_per_cycle * noop["inc_noop_s"]
+        + tasks_per_cycle * noop["task_noop_s"]
     )
     cycle_time = best_off / cycles
     return {
@@ -202,12 +254,15 @@ def bench_overhead(
         "k": k,
         "cycles": cycles,
         "repeats": repeats,
+        "workers": workers if method == "sharded" else None,
         "disabled_best_s": best_off,
         "enabled_best_s": best_on,
         "spans_per_cycle": spans_per_cycle,
         "incs_per_cycle": incs_per_cycle,
+        "tasks_per_cycle": tasks_per_cycle,
         "span_noop_s": noop["span_noop_s"],
         "inc_noop_s": noop["inc_noop_s"],
+        "task_noop_s": noop["task_noop_s"],
         "disabled_overhead": disabled_emission_cost / max(cycle_time, 1e-12),
         "enabled_overhead": best_on / max(best_off, 1e-12) - 1.0,
         "disabled_samples_s": disabled,
@@ -226,11 +281,26 @@ def main(argv: "List[str] | None" = None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for --method sharded (oversubscribed, so CI "
+        "boxes still fork real workers); ignored for other methods",
+    )
+    parser.add_argument(
         "--budget",
         type=float,
         default=0.03,
         help="max allowed disabled-instrumentation overhead "
         "(fraction of cycle time, default 0.03 = 3%%)",
+    )
+    parser.add_argument(
+        "--enabled-budget",
+        type=float,
+        default=None,
+        help="optionally also gate the enabled arm's measured wall-time "
+        "overhead (fraction, e.g. 0.25); off by default because "
+        "sub-millisecond cycles make it noisy",
     )
     parser.add_argument(
         "--jsonl",
@@ -252,6 +322,7 @@ def main(argv: "List[str] | None" = None) -> int:
         args.cycles,
         args.repeats,
         args.seed,
+        args.workers,
     )
     system = result.pop("instrumented_system")
     if args.jsonl and system is not None:
@@ -266,8 +337,10 @@ def main(argv: "List[str] | None" = None) -> int:
     )
     print(
         f"no-op emission sites: {result['spans_per_cycle']:.1f} spans + "
-        f"{result['incs_per_cycle']:.1f} incs per cycle at "
-        f"{result['span_noop_s'] * 1e9:.0f}ns / {result['inc_noop_s'] * 1e9:.0f}ns each"
+        f"{result['incs_per_cycle']:.1f} incs + "
+        f"{result['tasks_per_cycle']:.1f} worker tasks per cycle at "
+        f"{result['span_noop_s'] * 1e9:.0f}ns / {result['inc_noop_s'] * 1e9:.0f}ns / "
+        f"{result['task_noop_s'] * 1e9:.0f}ns each"
     )
     print(
         f"disabled overhead {result['disabled_overhead'] * 100:.3f}% "
@@ -276,12 +349,19 @@ def main(argv: "List[str] | None" = None) -> int:
     )
 
     ok = result["disabled_overhead"] <= args.budget
-    result["ok"] = ok
+    enabled_ok = (
+        args.enabled_budget is None
+        or result["enabled_overhead"] <= args.enabled_budget
+    )
+    result["ok"] = ok and enabled_ok
     with open(args.json, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2)
     print(f"summary written to {args.json}")
     if not ok:
         print("FAIL: disabled-instrumentation overhead exceeds budget")
+        return 1
+    if not enabled_ok:
+        print("FAIL: enabled-instrumentation overhead exceeds --enabled-budget")
         return 1
     print("PASS")
     return 0

@@ -26,12 +26,21 @@ from .export import (
     read_history_jsonl,
     write_history_jsonl,
 )
+from .remote import (
+    MetricsServer,
+    WorkerTelemetry,
+    merge_worker_metrics,
+    merged_worker_counters,
+    start_metrics_server,
+)
 from .registry import (
     DEFAULT_TIME_BUCKETS,
     Histogram,
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+    label_key,
+    split_labels,
 )
 from .tracing import NullTracer, NULL_TRACER, Span, Tracer, span_seconds
 from .validate import (
@@ -47,6 +56,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "NullRegistry",
     "NULL_REGISTRY",
     "NullTracer",
@@ -55,15 +65,21 @@ __all__ = [
     "Span",
     "Tracer",
     "ValidationReport",
+    "WorkerTelemetry",
     "cycle_report",
     "history_records",
+    "label_key",
     "mean_cycle_counters",
+    "merge_worker_metrics",
+    "merged_worker_counters",
     "parse_prometheus_text",
     "predict_overhaul_counters",
     "prometheus_text",
+    "start_metrics_server",
     "read_history_jsonl",
     "run_validation",
     "span_seconds",
+    "split_labels",
     "validate_object_indexing",
     "write_history_jsonl",
 ]

@@ -1,10 +1,16 @@
-"""CLI: run a short instrumented monitoring session and report.
+"""CLI: instrumented runs, a live metrics endpoint, benchmark trends.
 
-Examples::
+Three entry points share the module::
 
+    # instrumented monitoring run: cycle report + optional exports
     PYTHONPATH=src python -m repro.obs --method object_overhaul --cycles 5
-    PYTHONPATH=src python -m repro.obs --method fast_grid --jsonl run.jsonl
     PYTHONPATH=src python -m repro.obs --validate
+
+    # live Prometheus endpoint (+ optional terminal dashboard)
+    PYTHONPATH=src python -m repro.obs serve --port 9109 --watch
+
+    # committed BENCH_*.json vs the working tree
+    PYTHONPATH=src python -m repro.obs trend BENCH_sharded.json
 """
 
 from __future__ import annotations
@@ -13,11 +19,27 @@ import argparse
 import sys
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs",
-        description="Instrumented monitoring run: cycle report + optional exports.",
-    )
+def _build(args, registry):
+    """A monitoring system for the CLI flags (sharded flags only apply there)."""
+    import numpy as np
+
+    from ..engines.registry import build_system
+
+    rng = np.random.default_rng(args.seed)
+    queries = rng.random((args.n_queries, 2))
+    config = {}
+    if args.method == "sharded":
+        config = {
+            "workers": args.workers,
+            "oversubscribe": True,
+        }
+        if args.shards is not None:
+            config["shards"] = args.shards
+    system = build_system(args.method, args.k, queries, registry=registry, **config)
+    return system, rng
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--method", default="object_overhaul",
                         help="bench method name (see repro.bench.runner)")
     parser.add_argument("--np", dest="n_objects", type=int, default=2000)
@@ -25,26 +47,166 @@ def main(argv=None) -> int:
     parser.add_argument("-k", type=int, default=8)
     parser.add_argument("--cycles", type=int, default=5)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (sharded method only)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="stripe count (sharded method only)")
+
+
+def _serve(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs serve",
+        description="Run a monitoring loop and expose live Prometheus text "
+                    "over HTTP.",
+    )
+    _add_run_flags(parser)
+    parser.set_defaults(method="sharded")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9109,
+                        help="HTTP port (0 picks an ephemeral one)")
+    parser.add_argument("--interval", type=float, default=0.0,
+                        help="seconds to sleep between cycles")
+    parser.add_argument("--watch", action="store_true",
+                        help="print a one-line cycle dashboard to the terminal")
+    args = parser.parse_args(argv)
+
+    import time
+
+    from .registry import MetricsRegistry
+    from .remote import start_metrics_server
+
+    registry = MetricsRegistry()
+    system, rng = _build(args, registry)
+    server, _ = start_metrics_server(registry, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving metrics at http://{host}:{port}/metrics "
+          f"({args.method}, NP={args.n_objects}, NQ={args.n_queries}, "
+          f"k={args.k}; {args.cycles or 'unlimited'} cycles)")
+    positions = rng.random((args.n_objects, 2))
+    try:
+        system.load(positions)
+        server.publish()
+        cycle = 0
+        while args.cycles == 0 or cycle < args.cycles:
+            cycle += 1
+            positions = positions + rng.normal(0.0, 0.01, positions.shape)
+            positions = positions.clip(0.0, 1.0)
+            system.tick(positions)
+            server.publish()
+            if args.watch:
+                stats = system.last_stats
+                gauges = registry.gauge_values()
+                extras = "".join(
+                    f"  {key}={gauges[key]:g}"
+                    for key in ("shard.last_rounds", "shard.imbalance_ratio",
+                                "shard.pool.respawns")
+                    if key in gauges
+                )
+                print(f"cycle {cycle:4d}  index {stats.index_time:.4f}s  "
+                      f"answer {stats.answer_time:.4f}s{extras}")
+            if args.interval > 0:
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+    finally:
+        server.shutdown()
+        system.close()
+    return 0
+
+
+def _trend(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs trend",
+        description="Diff benchmark JSON files against their committed "
+                    "baselines and flag regressions.",
+    )
+    parser.add_argument("files", nargs="*",
+                        help="benchmark JSON files (default: BENCH_*.json "
+                             "in the current directory)")
+    parser.add_argument("--rev", default="HEAD",
+                        help="git revision supplying baselines (default HEAD)")
+    parser.add_argument("--baseline-dir", metavar="DIR",
+                        help="read baselines from DIR/<name> instead of git")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as movement "
+                             "(default 0.10)")
+    parser.add_argument("--all", action="store_true",
+                        help="show every comparable metric, not just movement")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any regression is flagged")
+    args = parser.parse_args(argv)
+
+    import glob
+    import json
+    import os
+
+    from .trend import committed_json, compare_benchmarks, render_trend_report
+
+    files = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("no benchmark files found (expected BENCH_*.json)")
+        return 0
+    per_file = {}
+    skipped = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            current = json.load(handle)
+        if args.baseline_dir:
+            base_path = os.path.join(args.baseline_dir, os.path.basename(path))
+            try:
+                with open(base_path, "r", encoding="utf-8") as handle:
+                    baseline = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                baseline = None
+        else:
+            baseline = committed_json(path, rev=args.rev)
+        if baseline is None:
+            skipped.append(path)
+            continue
+        per_file[os.path.basename(path)] = compare_benchmarks(
+            baseline, current, threshold=args.threshold
+        )
+    for path in skipped:
+        print(f"note: no baseline for {path} (new file or git unavailable)")
+    if not per_file:
+        print("nothing to compare")
+        return 0
+    report = render_trend_report(per_file, show_all=args.all)
+    print(report)
+    if args.strict and "TREND FAIL" in report.splitlines()[-1]:
+        return 1
+    return 0
+
+
+def _run(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Instrumented monitoring run: cycle report + optional exports.",
+    )
+    _add_run_flags(parser)
     parser.add_argument("--jsonl", metavar="PATH",
                         help="write the per-cycle event log here")
     parser.add_argument("--prometheus", metavar="PATH",
                         help="write a Prometheus text dump here")
     parser.add_argument("--validate", action="store_true",
-                        help="also run the cost-model validation checks "
-                             "(overhaul counters + delta-grid answer reuse)")
+                        help="also run the soundness checks: overhaul "
+                             "cost-model counters, delta-grid answer reuse, "
+                             "and sharded merged-worker telemetry")
     args = parser.parse_args(argv)
 
     import numpy as np
 
-    from ..engines.registry import build_system
     from .export import cycle_report, prometheus_text, write_history_jsonl
     from .registry import MetricsRegistry
-    from .validate import run_delta_validation, run_validation
+    from .validate import (
+        run_delta_validation,
+        run_sharded_validation,
+        run_validation,
+    )
 
     rng = np.random.default_rng(args.seed)
-    queries = rng.random((args.n_queries, 2))
     registry = MetricsRegistry()
-    system = build_system(args.method, args.k, queries, registry=registry)
+    system, _ = _build(args, registry)
     system.load(rng.random((args.n_objects, 2)))
     for _ in range(args.cycles):
         system.tick(rng.random((args.n_objects, 2)))
@@ -57,6 +219,7 @@ def main(argv=None) -> int:
         with open(args.prometheus, "w", encoding="utf-8") as handle:
             handle.write(prometheus_text(registry))
         print(f"wrote Prometheus dump to {args.prometheus}")
+    system.close()
     if args.validate:
         failed = False
         for report in (
@@ -72,6 +235,13 @@ def main(argv=None) -> int:
                 k=args.k,
                 seed=args.seed,
             ),
+            run_sharded_validation(
+                n_objects=min(args.n_objects, 800),
+                n_queries=args.n_queries,
+                k=args.k,
+                seed=args.seed,
+                workers=max(1, args.workers),
+            ),
         ):
             print()
             print(report.render())
@@ -79,6 +249,15 @@ def main(argv=None) -> int:
         if failed:
             return 1
     return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
+    if argv and argv[0] == "trend":
+        return _trend(argv[1:])
+    return _run(argv)
 
 
 if __name__ == "__main__":

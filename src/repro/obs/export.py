@@ -21,10 +21,11 @@ import os
 import re
 from typing import IO, Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from .registry import MetricsRegistry
+from .registry import MetricsRegistry, split_labels
 from .tracing import span_seconds
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +86,17 @@ def _prom_name(name: str, prefix: str) -> str:
     return _NAME_RE.sub("_", f"{prefix}_{name}".replace(".", "_"))
 
 
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    """A rendered Prometheus label set (empty string when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_RE.sub("_", k)}="{str(v).translate(_LABEL_ESCAPES)}"'
+        for k, v in sorted(labels.items())
+    )
+    return f"{{{inner}}}"
+
+
 def _prom_value(value: float) -> str:
     if value == int(value):
         return str(int(value))
@@ -92,36 +104,64 @@ def _prom_value(value: float) -> str:
 
 
 def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
-    """Dump a registry in the Prometheus text exposition format."""
+    """Dump a registry in the Prometheus text exposition format.
+
+    Labeled series (keys produced by
+    :func:`~repro.obs.registry.label_key`) are rendered as native
+    Prometheus label sets — ``repro_shard_worker_tasks_total{worker="0"}``
+    — with one HELP/TYPE header per metric name, labeled series grouped
+    beneath it.
+    """
     lines: List[str] = []
-    for name in sorted(registry.counter_values()):
-        metric = _prom_name(name, prefix) + "_total"
-        lines.append(f"# HELP {metric} registry counter {name}")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_prom_value(registry.counter(name))}")
-    for name in sorted(registry.gauge_values()):
-        metric = _prom_name(name, prefix)
-        lines.append(f"# HELP {metric} registry gauge {name}")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_prom_value(registry.gauge(name))}")
-    for name in sorted(registry.snapshot()["histograms"]):  # type: ignore[arg-type]
-        histogram = registry.histogram(name)
+
+    def emit(kind: str, keys, suffix: str, value_of) -> None:
+        seen_header = None
+        for key in sorted(keys):
+            name, labels = split_labels(key)
+            metric = _prom_name(name, prefix) + suffix
+            if metric != seen_header:
+                lines.append(f"# HELP {metric} registry {kind} {name}")
+                lines.append(f"# TYPE {metric} {kind}")
+                seen_header = metric
+            lines.append(f"{metric}{_prom_labels(labels)} {value_of(key)}")
+
+    emit(
+        "counter",
+        registry.counter_values(),
+        "_total",
+        lambda key: _prom_value(registry.counter(key)),
+    )
+    emit(
+        "gauge",
+        registry.gauge_values(),
+        "",
+        lambda key: _prom_value(registry.gauge(key)),
+    )
+    seen_header = None
+    for key in sorted(registry.snapshot()["histograms"]):  # type: ignore[arg-type]
+        histogram = registry.histogram(key)
         assert histogram is not None
+        name, labels = split_labels(key)
         metric = _prom_name(name, prefix)
-        lines.append(f"# HELP {metric} registry histogram {name}")
-        lines.append(f"# TYPE {metric} histogram")
+        if metric != seen_header:
+            lines.append(f"# HELP {metric} registry histogram {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            seen_header = metric
         for bound, cumulative in histogram.cumulative():
             le = "+Inf" if bound == float("inf") else f"{bound:g}"
-            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
-        lines.append(f"{metric}_sum {_prom_value(histogram.sum)}")
-        lines.append(f"{metric}_count {histogram.count}")
+            bucket_labels = _prom_labels({**labels, "le": le})
+            lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+        lines.append(f"{metric}_sum{_prom_labels(labels)} {_prom_value(histogram.sum)}")
+        lines.append(f"{metric}_count{_prom_labels(labels)} {histogram.count}")
     return "\n".join(lines) + "\n"
 
 
 def parse_prometheus_text(text: str) -> Dict[str, float]:
     """Parse a Prometheus text dump into ``{sample_name: value}``.
 
-    Bucketed samples keep their ``{le="..."}`` suffix as part of the key.
+    Labeled samples (including bucket ``{le="..."}`` suffixes) keep the
+    rendered label set as part of the key —
+    :func:`~repro.obs.registry.split_labels` takes such keys apart.
     Provided for round-trip tests and quick diffing, not as a full parser.
     """
     samples: Dict[str, float] = {}

@@ -3,9 +3,18 @@
 The registry is the single sink for everything the instrumentation layer
 measures — span timings (see :mod:`repro.obs.tracing`), algorithmic
 counters (cells visited, objects scanned, ...), and per-cycle gauges.  It
-is deliberately minimal: plain dictionaries of floats, no label sets, no
-locking (one registry per monitoring system, single-threaded like the
-monitoring cycle itself).
+is deliberately minimal: plain dictionaries of floats, no locking (one
+registry per monitoring system, single-threaded like the monitoring
+cycle itself).
+
+Metrics may carry a *label set* — ``inc("shard.worker.tasks",
+labels={"worker": "3"})`` — which is flattened into the storage key in
+the Prometheus sample syntax (``shard.worker.tasks{worker="3"}``, label
+keys sorted).  :func:`label_key` builds such keys and
+:func:`split_labels` takes them apart; the exporter renders the label
+set natively instead of mangling it into the metric name.  Unlabeled
+metrics pay nothing for this — the ``labels=None`` fast path is one
+``if`` per emission.
 
 Instrumentation is *optional*.  :data:`NULL_REGISTRY` is a shared no-op
 instance used whenever a monitoring system is built without a registry;
@@ -17,6 +26,40 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+
+def label_key(name: str, labels: Optional[Mapping[str, object]]) -> str:
+    """Canonical storage key for ``name`` under a label set.
+
+    ``label_key("a.b", {"worker": 2}) == 'a.b{worker="2"}'``; label keys
+    are sorted so equal label sets always produce the same key.  With no
+    labels the name itself is the key.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_labels(key: str) -> "tuple[str, Dict[str, str]]":
+    """Inverse of :func:`label_key`: ``(name, labels)`` from a storage key.
+
+    Keys without a label suffix return an empty label dict.  Only the
+    syntax :func:`label_key` emits is understood (quoted values without
+    embedded quotes) — enough for round-trips, not a general parser.
+    """
+    if not key.endswith("}"):
+        return key, {}
+    brace = key.index("{")
+    name = key[:brace]
+    labels: Dict[str, str] = {}
+    body = key[brace + 1 : -1]
+    for part in body.split(","):
+        if not part:
+            continue
+        lk, _, lv = part.partition("=")
+        labels[lk] = lv.strip('"')
+    return name, labels
 
 #: Default histogram bucket upper bounds, tuned for per-cycle wall-clock
 #: seconds (100 µs .. 10 s, roughly log-spaced).
@@ -84,23 +127,47 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def inc(self, name: str, amount: float = 1.0) -> None:
-        """Add ``amount`` to the counter ``name`` (created at 0)."""
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Add ``amount`` to the counter ``name`` (created at 0).
+
+        ``labels`` records into the labeled series instead (see
+        :func:`label_key`).
+        """
+        if labels:
+            name = label_key(name, labels)
         counters = self._counters
         counters[name] = counters.get(name, 0.0) + amount
 
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set the gauge ``name`` to its latest value."""
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Set the gauge ``name`` (or its labeled series) to its latest value."""
+        if labels:
+            name = label_key(name, labels)
         self._gauges[name] = float(value)
 
     def observe(
-        self, name: str, value: float, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> None:
         """Record one observation into the histogram ``name``.
 
         ``bounds`` applies only on first use; subsequent observations go
         into the existing histogram regardless.
         """
+        if labels:
+            name = label_key(name, labels)
         histogram = self._histograms.get(name)
         if histogram is None:
             histogram = Histogram(bounds if bounds is not None else DEFAULT_TIME_BUCKETS)
@@ -110,14 +177,20 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> float:
+        return self._counters.get(label_key(name, labels), 0.0)
 
-    def gauge(self, name: str) -> float:
-        return self._gauges.get(name, 0.0)
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> float:
+        return self._gauges.get(label_key(name, labels), 0.0)
 
-    def histogram(self, name: str) -> Optional[Histogram]:
-        return self._histograms.get(name)
+    def histogram(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Optional[Histogram]:
+        return self._histograms.get(label_key(name, labels))
 
     def counter_values(self) -> Dict[str, float]:
         """A point-in-time copy of all counters."""
@@ -170,14 +243,28 @@ class NullRegistry(MetricsRegistry):
 
     enabled = False
 
-    def inc(self, name: str, amount: float = 1.0) -> None:
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         pass
 
-    def set_gauge(self, name: str, value: float) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         pass
 
     def observe(
-        self, name: str, value: float, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> None:
         pass
 

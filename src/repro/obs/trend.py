@@ -1,0 +1,186 @@
+"""Benchmark trend analysis: diff committed BENCH_*.json against current.
+
+``python -m repro.obs trend`` feeds this module: each benchmark JSON is
+flattened to dotted numeric paths (``runs.fast_grid.answer_s``,
+``variants.2w2s.total_s``), paired with a baseline — by default the
+version of the same file committed at ``HEAD`` — and every pair is
+classified by a direction heuristic on the metric name:
+
+* *lower is better*: wall-clock style metrics (``*_s``, ``*seconds*``,
+  ``*time*``, ``*overhead*``, ``*respawns*``);
+* *higher is better*: ``*speedup*``, ``*throughput*``, ``*qps*``;
+* anything else (populations, cycle counts, platform facts) carries no
+  direction and is never flagged.
+
+A pair whose value moved in the "worse" direction by more than the
+relative threshold is a **regression**.  The CLI report is advisory by
+default (CI uploads it as a non-blocking artifact — committed numbers
+come from other machines); ``--strict`` turns regressions into a
+non-zero exit for local A/B runs on one box.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Substrings marking a metric where smaller values are improvements
+#: (a ``_s`` *suffix* also qualifies — suffix only, so ``_std`` names
+#: don't match).
+LOWER_IS_BETTER = ("seconds", "time", "overhead", "respawns", "latency")
+#: Substrings marking a metric where larger values are improvements.
+HIGHER_IS_BETTER = ("speedup", "throughput", "qps", "rate")
+
+
+def flatten_numeric(obj: object, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested JSON value, keyed by dotted path.
+
+    Dict keys join with ``.``; list elements index as ``path[i]``.
+    Booleans are *not* numbers here (they are config, not measurements).
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, Mapping):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value, path))
+    elif isinstance(obj, (list, tuple)):
+        for i, value in enumerate(obj):
+            out.update(flatten_numeric(value, f"{prefix}[{i}]"))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def metric_direction(path: str) -> Optional[str]:
+    """``"lower"``, ``"higher"``, or ``None`` for a flattened metric path.
+
+    Only the leaf segment is classified — a timing-flavored *container*
+    name must not give every child a direction.
+    """
+    leaf = path.rsplit(".", 1)[-1].lower()
+    leaf = leaf.split("[", 1)[0]
+    if any(mark in leaf for mark in HIGHER_IS_BETTER):
+        return "higher"
+    if leaf.endswith("_s") or any(mark in leaf for mark in LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class TrendEntry:
+    """One baseline-vs-current comparison of a single metric."""
+
+    path: str
+    baseline: float
+    current: float
+    direction: Optional[str]
+    threshold: float
+
+    @property
+    def change(self) -> float:
+        """Relative change vs baseline (positive = value went up)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    @property
+    def regression(self) -> bool:
+        if self.direction is None:
+            return False
+        change = self.change
+        if self.direction == "lower":
+            return change > self.threshold
+        return change < -self.threshold
+
+    @property
+    def improvement(self) -> bool:
+        if self.direction is None:
+            return False
+        change = self.change
+        if self.direction == "lower":
+            return change < -self.threshold
+        return change > self.threshold
+
+    def render(self) -> str:
+        flag = "REGRESSION" if self.regression else (
+            "improved" if self.improvement else "ok"
+        )
+        change = self.change
+        pct = "n/a" if change == float("inf") else f"{change:+.1%}"
+        return (
+            f"{flag:10s} {self.path}: {self.baseline:g} -> {self.current:g} "
+            f"({pct})"
+        )
+
+
+def compare_benchmarks(
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    threshold: float = 0.10,
+) -> List[TrendEntry]:
+    """Directional comparisons for every metric present in both dumps."""
+    base_flat = flatten_numeric(baseline)
+    curr_flat = flatten_numeric(current)
+    return [
+        TrendEntry(
+            path,
+            base_flat[path],
+            curr_flat[path],
+            metric_direction(path),
+            threshold,
+        )
+        for path in sorted(base_flat)
+        if path in curr_flat
+    ]
+
+
+def committed_json(path: str, rev: str = "HEAD") -> Optional[Dict[str, object]]:
+    """The committed version of a repo file as parsed JSON, or ``None``.
+
+    ``None`` means the file is not in ``rev`` (new benchmark) or git is
+    unavailable — both simply leave the file without a baseline.
+    """
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{rev}:{path}"],
+            capture_output=True,
+            check=True,
+            text=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def render_trend_report(
+    per_file: Mapping[str, Sequence[TrendEntry]],
+    show_all: bool = False,
+) -> str:
+    """Aligned multi-file report; regressions and improvements always shown."""
+    lines: List[str] = []
+    total_regressions = 0
+    for name in sorted(per_file):
+        entries = per_file[name]
+        flagged = [e for e in entries if e.regression or e.improvement]
+        regressions = sum(1 for e in entries if e.regression)
+        total_regressions += regressions
+        lines.append(
+            f"== {name}: {len(entries)} comparable metrics, "
+            f"{regressions} regression(s) =="
+        )
+        for entry in entries if show_all else flagged:
+            lines.append("  " + entry.render())
+        if not (entries if show_all else flagged):
+            lines.append("  (no movement beyond threshold)")
+    lines.append(
+        f"TREND {'FAIL' if total_regressions else 'OK'}: "
+        f"{total_regressions} regression(s) across {len(per_file)} file(s)"
+    )
+    return "\n".join(lines)

@@ -45,6 +45,7 @@ from ..core.answers import AnswerList
 from ..engines.base import BaseEngine
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
 from ..obs.registry import MetricsRegistry
+from ..obs.remote import WorkerTelemetry, merge_worker_metrics
 from .partition import StripePartition
 from .pool import ShardWorkerPool
 from .tasks import CSRCache, run_shard_task
@@ -104,6 +105,7 @@ class ShardedGridEngine(BaseEngine):
         self.partition = StripePartition(shards)
         self._pool: Optional[ShardWorkerPool] = None
         self._serial_cache: CSRCache = {}
+        self._serial_telemetry = WorkerTelemetry()
         self._deferred_index_seconds = 0.0
         self._cycle = -1
         self._n = 0
@@ -251,6 +253,9 @@ class ShardedGridEngine(BaseEngine):
         merge_seconds = 0.0
         top_d2 = top_ids = None
         rounds = 0
+        obs = bool(metrics.enabled)
+        stripe_objects: Dict[int, int] = {}
+        stripe_queries: Dict[int, int] = {}
         while True:
             rounds += 1
             if rounds > S + 1:
@@ -261,6 +266,13 @@ class ShardedGridEngine(BaseEngine):
             with self.tracer.span("shard_dispatch"):
                 results = self._run_tasks(assignments, qx, qy)
             dispatch_seconds += perf_counter() - t0
+            if obs:
+                for out in results:
+                    shard = int(out["shard"])
+                    stripe_objects[shard] = int(out["n_shard"])
+                    stripe_queries[shard] = stripe_queries.get(shard, 0) + len(
+                        out["qidx"]
+                    )
             for out in results:
                 # Stripe index maintenance runs lazily inside the first
                 # task of the cycle, i.e. during answer(); record it so
@@ -300,8 +312,28 @@ class ShardedGridEngine(BaseEngine):
         metrics.inc("shard.merge_seconds", merge_seconds)
         metrics.inc("shard.build_seconds", self._deferred_index_seconds)
         metrics.inc("shard.rounds", rounds)
-        if metrics.enabled:
+        if obs:
             metrics.set_gauge("shard.last_rounds", rounds)
+            # Health gauges: per-stripe populations this cycle, and how
+            # lopsided the consulted stripes were (max/mean object count;
+            # 1.0 = perfectly balanced).  Only stripes consulted this
+            # cycle are refreshed — untouched stripes keep their last
+            # known population.
+            for shard, count in stripe_objects.items():
+                metrics.set_gauge(
+                    "shard.stripe.objects", count, labels={"shard": shard}
+                )
+            for shard, count in stripe_queries.items():
+                metrics.set_gauge(
+                    "shard.stripe.queries", count, labels={"shard": shard}
+                )
+            if stripe_objects:
+                sizes = list(stripe_objects.values())
+                mean = sum(sizes) / len(sizes)
+                metrics.set_gauge(
+                    "shard.imbalance_ratio",
+                    max(sizes) / mean if mean > 0 else 1.0,
+                )
         return answers
 
     def pop_deferred_index_seconds(self) -> float:
@@ -342,6 +374,7 @@ class ShardedGridEngine(BaseEngine):
         results: List[dict] = []
         serial = self.workers == 0
         pool = None if serial else self._ensure_pool()
+        obs = bool(metrics.enabled)
         for shard, qidx in assignments.items():
             payload = {
                 "cmd": "cycle",
@@ -353,12 +386,18 @@ class ShardedGridEngine(BaseEngine):
                 "shm": self._shm_name,
                 "qx": qx[qidx],
                 "qy": qy[qidx],
+                "obs": obs,
             }
             metrics.inc("shard.queries_routed", len(qidx))
             metrics.inc("shard.tasks")
             if serial:
                 payload["task"] = 0
-                out = run_shard_task(self._positions, payload, self._serial_cache)
+                out = run_shard_task(
+                    self._positions,
+                    payload,
+                    self._serial_cache,
+                    telemetry=self._serial_telemetry,
+                )
                 out["qidx"] = qidx
                 results.append(out)
             else:
@@ -368,6 +407,19 @@ class ShardedGridEngine(BaseEngine):
             for out in pool.collect():
                 out["qidx"] = inflight.pop(out["task"])
                 results.append(out)
+        if obs:
+            # The pool de-duplicates results by task id, so each task's
+            # shipped deltas merge exactly once even across a crash and
+            # re-dispatch — counters cannot double-count.
+            for out in results:
+                shipped = out.get("metrics")
+                if shipped:
+                    merge_worker_metrics(
+                        metrics,
+                        out.get("worker", "serial"),
+                        shipped,
+                        task_wall=out.get("task_seconds"),
+                    )
         return results
 
     def _escalations(

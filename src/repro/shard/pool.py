@@ -27,6 +27,14 @@ A liveness budget (``max_respawns``) turns a crash loop into an
 :class:`~repro.errors.IndexStateError` instead of an infinite loop, and
 a no-progress deadline (``task_timeout``) catches the hang case where a
 worker is alive but wedged.
+
+With a real registry bound the pool also emits health gauges:
+``shard.pool.heartbeat_seconds{worker="i"}`` (+ ``..._max``) from each
+:meth:`ShardWorkerPool.ping`, ``shard.pool.respawns`` mirroring the
+lifetime respawn count, and the dispatch queue wait — result arrival
+minus submit minus the worker-reported task wall time — as the
+``shard.pool.queue_wait_seconds`` histogram and the
+``shard.pool.last_queue_wait_seconds`` gauge.
 """
 
 from __future__ import annotations
@@ -79,6 +87,7 @@ class ShardWorkerPool:
         self._shm: Optional[shared_memory.SharedMemory] = None
         self._shm_capacity = 0
         self._task_seq = 0
+        self._submit_times: Dict[int, float] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -186,6 +195,10 @@ class ShardWorkerPool:
         payload = dict(payload)
         payload["task"] = task_id
         handle.outstanding[task_id] = payload
+        if self.metrics.enabled:
+            # Submit time survives a crash/re-dispatch on purpose: the
+            # queue wait of a recovered task includes the recovery.
+            self._submit_times[task_id] = time.monotonic()
         try:
             handle.conn.send(payload)
         except (BrokenPipeError, OSError):
@@ -253,8 +266,15 @@ class ShardWorkerPool:
             return False  # stray pong from an earlier heartbeat
         task_id = msg.get("task")
         if handle.outstanding.pop(task_id, None) is None:
+            self._submit_times.pop(task_id, None)
             return False  # duplicate (task already re-dispatched and answered)
         results.append(msg)
+        submitted = self._submit_times.pop(task_id, None)
+        task_seconds = msg.get("task_seconds")
+        if submitted is not None and task_seconds is not None:
+            wait = max(0.0, time.monotonic() - submitted - float(task_seconds))
+            self.metrics.observe("shard.pool.queue_wait_seconds", wait)
+            self.metrics.set_gauge("shard.pool.last_queue_wait_seconds", wait)
         return True
 
     def _respawn(self, handle: _WorkerHandle) -> None:
@@ -273,6 +293,7 @@ class ShardWorkerPool:
         self._spawn(handle)
         self.respawns += 1
         self.metrics.inc("shard.respawns")
+        self.metrics.set_gauge("shard.pool.respawns", self.respawns)
         for payload in list(handle.outstanding.values()):
             try:
                 handle.conn.send(payload)
@@ -296,13 +317,17 @@ class ShardWorkerPool:
         seq = self._task_seq = self._task_seq + 1
         alive: Dict[int, bool] = {}
         waiting: List[_WorkerHandle] = []
+        sent: Dict[int, float] = {}
+        obs = self.metrics.enabled
         for handle in self._workers:
             try:
+                sent[handle.index] = time.monotonic()
                 handle.conn.send({"cmd": "ping", "seq": seq})
                 waiting.append(handle)
             except (BrokenPipeError, OSError):
                 alive[handle.index] = False
                 self._respawn(handle)
+        latencies: Dict[int, float] = {}
         deadline = time.monotonic() + timeout
         while waiting and time.monotonic() < deadline:
             for handle in list(waiting):
@@ -314,6 +339,9 @@ class ShardWorkerPool:
                             got_pong = True
                     if got_pong:
                         alive[handle.index] = True
+                        latencies[handle.index] = (
+                            time.monotonic() - sent[handle.index]
+                        )
                         waiting.remove(handle)
                 except (EOFError, OSError):
                     alive[handle.index] = False
@@ -324,4 +352,14 @@ class ShardWorkerPool:
         for handle in waiting:
             alive[handle.index] = False
             self._respawn(handle)
+        if obs and latencies:
+            for index, latency in latencies.items():
+                self.metrics.set_gauge(
+                    "shard.pool.heartbeat_seconds",
+                    latency,
+                    labels={"worker": index},
+                )
+            self.metrics.set_gauge(
+                "shard.pool.heartbeat_seconds_max", max(latencies.values())
+            )
         return alive

@@ -23,9 +23,23 @@ coordinates) so a re-dispatched task after a worker crash is exactly the
 original payload sent to a fresh process — a fresh process just pays one
 full rebuild before returning the same answers.
 
+**Telemetry.**  The build and answer stages run under
+:class:`~repro.obs.tracing.Tracer` spans supplied by a
+:class:`~repro.obs.remote.WorkerTelemetry`; their measured durations are
+what the reply reports as ``build_seconds``/``answer_seconds`` (the
+engine's timing attribution), so the stage times and the shipped
+``span.shard_build.*``/``span.shard_answer.*`` counters can never
+disagree.  When the task carries ``obs=True`` the telemetry also records
+the stripe's delta-maintenance regime (``delta.*``), the answering
+kernel's work counters (``fast.answer.*``) and per-task population
+tallies (``shard.task.*``), and the reply piggybacks the per-task
+counter deltas plus the task wall time — no extra syscalls or messages,
+and nothing at all when instrumentation is off.
+
 The same :func:`run_shard_task` powers the ``workers=0`` serial
-fallback: the engine calls it in-process with its own cache dict, which
-guarantees the serial and multiprocess paths cannot diverge.
+fallback: the engine calls it in-process with its own cache dict and
+telemetry, which guarantees the serial and multiprocess paths cannot
+diverge — in answers *or* in counters.
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ import numpy as np
 
 from ..core.delta_index import DeltaCSRGrid
 from ..core.fast_index import CSRGrid, batch_knn
+from ..obs.remote import ANSWER_SPAN, BUILD_SPAN, WorkerTelemetry
 from .partition import StripePartition, shard_grid_shape
 
 #: Worker-side stripe-grid cache type: ``shard -> (cycle, grid)``.  The
@@ -73,60 +88,98 @@ def run_shard_task(
     positions: np.ndarray,
     task: Dict[str, object],
     cache: Optional[CSRCache] = None,
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> Dict[str, object]:
     """Execute one cycle task against the given snapshot.
 
     ``task`` fields: ``shard``, ``n_shards``, ``cycle``, ``k``, ``qx``,
-    ``qy`` (routed query coordinates).  Returns the per-query top-k
-    blocks (``inf``/``-1`` padded when the stripe holds fewer than ``k``
-    objects) plus build/answer timings for the dispatch metrics.
+    ``qy`` (routed query coordinates), optional ``obs`` (ship telemetry).
+    Returns the per-query top-k blocks (``inf``/``-1`` padded when the
+    stripe holds fewer than ``k`` objects) plus build/answer stage
+    timings and — when ``obs`` is set — the task's counter deltas and
+    wall time for the parent-side labeled merge.
     """
     shard = int(task["shard"])
     n_shards = int(task["n_shards"])
     cycle = int(task["cycle"])
     k = int(task["k"])
+    qx = task["qx"]
 
-    t0 = perf_counter()
-    entry = cache.get(shard) if cache is not None else None
-    if entry is not None and entry[0] == cycle:
-        csr = entry[1]  # escalation round: snapshot already current
-    else:
-        partition = StripePartition(n_shards)
-        sel = np.flatnonzero(partition.shard_of(positions[:, 0]) == shard)
-        nx, ny = shard_grid_shape(len(sel), n_shards)
-        if (
-            entry is not None
-            and entry[1].nx == nx
-            and entry[1].ny == ny
-        ):
-            csr = entry[1]
-            csr.update(positions, member_idx=sel)
+    if telemetry is None:
+        telemetry = WorkerTelemetry()
+    obs = bool(task.get("obs"))
+    tracer = telemetry.begin(obs)
+    t_task = perf_counter() if obs else 0.0
+
+    with tracer.span(BUILD_SPAN) as build_span:
+        entry = cache.get(shard) if cache is not None else None
+        maintained = False
+        if entry is not None and entry[0] == cycle:
+            csr = entry[1]  # escalation round: snapshot already current
         else:
-            # First cycle, respawned worker, or the stripe population
-            # shifted enough to change the grid resolution.
-            csr = DeltaCSRGrid(
-                positions,
-                region=partition.region(shard),
-                nx=nx,
-                ny=ny,
-                track_dirty=False,
-                member_idx=sel,
-            )
-        if cache is not None:
-            cache[shard] = (cycle, csr)
-    build_seconds = perf_counter() - t0
+            maintained = True
+            partition = StripePartition(n_shards)
+            sel = np.flatnonzero(partition.shard_of(positions[:, 0]) == shard)
+            nx, ny = shard_grid_shape(len(sel), n_shards)
+            if (
+                entry is not None
+                and entry[1].nx == nx
+                and entry[1].ny == ny
+            ):
+                csr = entry[1]
+                csr.update(positions, member_idx=sel)
+                if obs:
+                    stats = csr.last_stats
+                    telemetry.inc("delta.movers", stats.movers)
+                    telemetry.inc("delta.dirty_cells", stats.dirty_cells)
+                    telemetry.inc(
+                        "delta.patch_cycles" if stats.mode == "patch"
+                        else "delta.rebuild_cycles"
+                    )
+                    if stats.compacted:
+                        telemetry.inc("delta.compactions")
+            else:
+                # First cycle, respawned worker, or the stripe population
+                # shifted enough to change the grid resolution.
+                csr = DeltaCSRGrid(
+                    positions,
+                    region=partition.region(shard),
+                    nx=nx,
+                    ny=ny,
+                    track_dirty=False,
+                    member_idx=sel,
+                )
+                telemetry.inc("shard.task.fresh_builds")
+            if cache is not None:
+                cache[shard] = (cycle, csr)
 
-    t0 = perf_counter()
-    result = batch_knn(csr, task["qx"], task["qy"], k)
-    answer_seconds = perf_counter() - t0
+    with tracer.span(ANSWER_SPAN) as answer_span:
+        result = batch_knn(csr, qx, task["qy"], k)
 
-    return {
+    out: Dict[str, object] = {
         "shard": shard,
         "cycle": cycle,
         "n_shard": csr.n_objects,
         "top_d2": result.top_d2,
         "top_ids": np.asarray(result.top_ids, dtype=np.int64),
-        "build_seconds": build_seconds,
-        "answer_seconds": answer_seconds,
+        "build_seconds": build_span.duration,
+        "answer_seconds": answer_span.duration,
         "stats": result.stats,
     }
+    if obs:
+        stats = result.stats
+        telemetry.inc("shard.task.calls")
+        telemetry.inc("shard.task.queries", len(qx))
+        if maintained:
+            # Once per (stripe, cycle): lets the parent check that the
+            # maintained stripe populations sum to the full snapshot.
+            telemetry.inc("shard.task.maintained")
+            telemetry.inc("shard.task.objects", csr.n_objects)
+        telemetry.inc("fast.answer.queries", len(qx))
+        telemetry.inc("fast.answer.ring_passes", stats["ring_passes"])
+        telemetry.inc("fast.answer.groups", stats["groups"])
+        telemetry.inc("fast.answer.candidates", stats["candidates"])
+        telemetry.inc("fast.answer.pairs", stats["pairs"])
+        out["metrics"] = telemetry.deltas()
+        out["task_seconds"] = perf_counter() - t_task
+    return out

@@ -30,6 +30,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..obs.remote import WorkerTelemetry
 from .tasks import CSRCache, run_shard_task
 
 
@@ -77,6 +78,10 @@ def worker_main(worker_id: int, conn) -> None:
         pass
     shm_cache: Dict[str, shared_memory.SharedMemory] = {}
     csr_cache: CSRCache = {}
+    # Persistent so the local registry/tracer (built only if a task ever
+    # arrives with obs=True) stay warm across tasks; each task ships its
+    # own counter delta, so persistence never double-reports.
+    telemetry = WorkerTelemetry()
     try:
         while True:
             try:
@@ -93,7 +98,9 @@ def worker_main(worker_id: int, conn) -> None:
                 positions = _attach_snapshot(
                     shm_cache, msg["shm"], int(msg["n"])
                 )
-                out = run_shard_task(positions, msg, cache=csr_cache)
+                out = run_shard_task(
+                    positions, msg, cache=csr_cache, telemetry=telemetry
+                )
                 out["cmd"] = "result"
                 out["worker"] = worker_id
                 out["task"] = msg["task"]

@@ -18,8 +18,10 @@ from repro.obs import (
     NullRegistry,
     Tracer,
     history_records,
+    label_key,
     mean_cycle_counters,
     parse_prometheus_text,
+    split_labels,
     prometheus_text,
     read_history_jsonl,
     span_seconds,
@@ -81,6 +83,73 @@ class TestMetricsRegistry:
         assert null.counter("a") == 0.0
         assert null.counter_values() == {}
         assert null.counters_since(None) == {}
+        null.inc("a", 5, labels={"worker": 1})  # labeled no-ops too
+        assert null.counter("a", labels={"worker": 1}) == 0.0
+
+
+class TestLabels:
+    def test_label_key_sorts_and_round_trips(self):
+        key = label_key("a.b", {"worker": 2, "shard": 0})
+        assert key == 'a.b{shard="0",worker="2"}'  # keys sorted
+        assert label_key("a.b", {"shard": 0, "worker": 2}) == key
+        assert split_labels(key) == ("a.b", {"shard": "0", "worker": "2"})
+        assert label_key("a.b", None) == "a.b"
+        assert split_labels("a.b") == ("a.b", {})
+
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry()
+        reg.inc("tasks", 2, labels={"worker": 0})
+        reg.inc("tasks", 3, labels={"worker": 1})
+        reg.inc("tasks", 10)  # the unlabeled series is its own sample
+        assert reg.counter("tasks", labels={"worker": 0}) == 2.0
+        assert reg.counter("tasks", labels={"worker": 1}) == 3.0
+        assert reg.counter("tasks") == 10.0
+        reg.set_gauge("pop", 7, labels={"shard": 1})
+        assert reg.gauge("pop", labels={"shard": 1}) == 7.0
+        reg.observe("wait", 0.01, labels={"worker": 0})
+        assert reg.histogram("wait", labels={"worker": 0}).count == 1
+        assert reg.histogram("wait") is None
+
+    def test_labeled_counters_survive_counters_since(self):
+        reg = MetricsRegistry()
+        reg.inc("tasks", 1, labels={"worker": 0})
+        before = reg.counter_values()
+        reg.inc("tasks", 4, labels={"worker": 0})
+        assert reg.counters_since(before) == {'tasks{worker="0"}': 4.0}
+
+    def test_prometheus_renders_native_label_sets(self):
+        reg = MetricsRegistry()
+        reg.inc("shard.worker.tasks", 3, labels={"worker": 0})
+        reg.inc("shard.worker.tasks", 5, labels={"worker": 1})
+        reg.set_gauge("shard.stripe.objects", 42, labels={"shard": 1})
+        text = prometheus_text(reg)
+        assert 'repro_shard_worker_tasks_total{worker="0"} 3' in text
+        assert 'repro_shard_worker_tasks_total{worker="1"} 5' in text
+        assert 'repro_shard_stripe_objects{shard="1"} 42' in text
+        # One HELP/TYPE header per metric name, not per labeled series.
+        assert text.count("# TYPE repro_shard_worker_tasks_total counter") == 1
+        parsed = parse_prometheus_text(text)
+        key = 'repro_shard_worker_tasks_total{worker="1"}'
+        assert parsed[key] == 5.0
+        name, labels = split_labels(key)
+        assert name == "repro_shard_worker_tasks_total"
+        assert labels == {"worker": "1"}
+
+    def test_prometheus_labeled_histogram_merges_le(self):
+        reg = MetricsRegistry()
+        reg.observe("wait", 0.01, bounds=(0.1, 1.0), labels={"worker": 0})
+        text = prometheus_text(reg)
+        assert 'repro_wait_bucket{le="0.1",worker="0"} 1' in text
+        assert 'repro_wait_bucket{le="+Inf",worker="0"} 1' in text
+        assert 'repro_wait_count{worker="0"} 1' in text
+        parsed = parse_prometheus_text(text)
+        assert parsed['repro_wait_sum{worker="0"}'] == pytest.approx(0.01)
+
+    def test_label_values_escaped_in_exposition(self):
+        reg = MetricsRegistry()
+        reg.inc("weird", 1, labels={"path": 'a"b\\c'})
+        text = prometheus_text(reg)
+        assert 'path="a\\"b\\\\c"' in text
 
 
 class TestHistogram:
