@@ -20,7 +20,8 @@ import platform
 import time
 from typing import Dict, List
 
-from repro.bench.runner import make_system, measure_cycles
+from repro.bench.runner import measure_cycles
+from repro.engines.registry import build_system
 from repro.motion import RandomWalkModel, make_dataset, make_queries
 
 ENGINES = ("object_overhaul", "object_incremental", "fast_grid")
@@ -35,7 +36,7 @@ def bench_population(
         positions = make_dataset("uniform", n_objects, seed=seed)
         queries = make_queries(n_queries, seed=seed + 1)
         motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
-        system = make_system(method, k, queries)
+        system = build_system(method, k, queries)
         timing = measure_cycles(system, positions, motion, cycles=cycles)
         entry: Dict = {
             "index_s": timing.index_time,

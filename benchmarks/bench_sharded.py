@@ -22,7 +22,8 @@ import platform
 import time
 from typing import Dict, List
 
-from repro.bench.runner import make_system, measure_cycles
+from repro.bench.runner import measure_cycles
+from repro.engines.registry import build_system
 from repro.motion import RandomWalkModel, make_dataset, make_queries
 
 
@@ -40,7 +41,7 @@ def bench_variant(
     positions = make_dataset("uniform", n_objects, seed=seed)
     queries = make_queries(n_queries, seed=seed + 1)
     motion = RandomWalkModel(vmax=vmax, seed=seed + 2)
-    system = make_system(method, k, queries, **options)
+    system = build_system(method, k, queries, **options)
     try:
         timing = measure_cycles(system, positions, motion, cycles=cycles)
         entry: Dict = {

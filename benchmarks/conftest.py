@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bench.runner import make_system, measure_cycles
+from repro.bench.runner import measure_cycles
+from repro.engines.registry import build_system
 from repro.motion import RandomWalkModel, make_dataset, make_queries
 
 # Benchmark-scale reference workload.
@@ -40,7 +41,7 @@ def queries():
 def cycle_time(method: str, positions: np.ndarray, queries: np.ndarray,
                k: int = K, vmax: float = VMAX, cycles: int = 2, **kwargs):
     """Mean cycle timing for one method on a given workload."""
-    system = make_system(method, k, queries, **kwargs)
+    system = build_system(method, k, queries, **kwargs)
     motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
     return measure_cycles(system, positions, motion, cycles=cycles)
 
@@ -52,7 +53,7 @@ def run_one_cycle(method: str, positions: np.ndarray, queries: np.ndarray,
     The system is loaded once outside the timed region; the timed callable
     performs maintenance + answering for a fresh motion step.
     """
-    system = make_system(method, k, queries, **kwargs)
+    system = build_system(method, k, queries, **kwargs)
     system.load(positions)
     motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
     state = {"positions": positions}

@@ -11,7 +11,7 @@ from conftest import cycle_time, run_one_cycle
 
 @pytest.mark.parametrize("delta0", [0.5, 0.1, 0.05])
 def test_hier_delta0(benchmark, skewed_positions, queries, delta0):
-    benchmark(run_one_cycle("hierarchical", skewed_positions, queries, delta0=delta0))
+    benchmark(run_one_cycle("hierarchical_rebuild", skewed_positions, queries, delta0=delta0))
 
 
 def test_hier_delta0_robustness(skewed_positions, queries):
@@ -19,7 +19,7 @@ def test_hier_delta0_robustness(skewed_positions, queries):
     size — variation stays within a small factor."""
     times = [
         cycle_time(
-            "hierarchical", skewed_positions, queries, cycles=3, delta0=delta0
+            "hierarchical_rebuild", skewed_positions, queries, cycles=3, delta0=delta0
         ).total_time
         for delta0 in (0.5, 0.25, 0.1, 0.05)
     ]
@@ -30,7 +30,7 @@ def test_hier_delta0_robustness(skewed_positions, queries):
 def test_hier_params(benchmark, skewed_positions, queries, nc, m):
     benchmark(
         run_one_cycle(
-            "hierarchical",
+            "hierarchical_rebuild",
             skewed_positions,
             queries,
             max_cell_load=nc,

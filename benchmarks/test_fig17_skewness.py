@@ -9,7 +9,7 @@ from repro.motion import make_dataset
 from conftest import NP, SEED, cycle_time, run_one_cycle
 
 METHODS = [
-    "hierarchical",
+    "hierarchical_rebuild",
     "object_overhaul",
     "query_indexing",
     "rtree_overhaul",
@@ -29,8 +29,8 @@ def test_fig17_hierarchical_robust_to_skew(queries):
     hi = make_dataset("hi_skewed", NP, seed=SEED)
     one_uniform = cycle_time("object_overhaul", uniform, queries).total_time
     one_hi = cycle_time("object_overhaul", hi, queries).total_time
-    hier_uniform = cycle_time("hierarchical", uniform, queries).total_time
-    hier_hi = cycle_time("hierarchical", hi, queries).total_time
+    hier_uniform = cycle_time("hierarchical_rebuild", uniform, queries).total_time
+    hier_hi = cycle_time("hierarchical_rebuild", hi, queries).total_time
     assert hier_hi / hier_uniform < one_hi / one_uniform
 
 
@@ -41,7 +41,7 @@ def test_fig17_grids_beat_rtree_on_skew(skewed_positions):
 
     many_queries = make_queries(500, seed=SEED + 1)
     rtree = cycle_time("rtree_overhaul", skewed_positions, many_queries).total_time
-    for method in ("hierarchical", "object_overhaul", "query_indexing"):
+    for method in ("hierarchical_rebuild", "object_overhaul", "query_indexing"):
         assert (
             cycle_time(method, skewed_positions, many_queries).total_time < rtree
         )

@@ -8,7 +8,7 @@ from repro.motion import make_dataset
 
 from conftest import NP, SEED, cycle_time, run_one_cycle
 
-GRID_METHODS = ["query_indexing", "object_overhaul", "hierarchical"]
+GRID_METHODS = ["query_indexing", "object_overhaul", "hierarchical_rebuild"]
 RTREE_METHODS = ["rtree_overhaul", "rtree_bottom_up"]
 
 
@@ -23,10 +23,10 @@ def test_fig18a_hierarchical_scales(queries):
     """Fig. 18(a): hierarchical total time grows sub-quadratically (near
     linear) in NP."""
     small = cycle_time(
-        "hierarchical", make_dataset("skewed", NP // 4, seed=SEED), queries
+        "hierarchical_rebuild", make_dataset("skewed", NP // 4, seed=SEED), queries
     ).total_time
     large = cycle_time(
-        "hierarchical", make_dataset("skewed", NP * 2, seed=SEED), queries
+        "hierarchical_rebuild", make_dataset("skewed", NP * 2, seed=SEED), queries
     ).total_time
     assert large < small * 8  # 8x NP -> clearly sub-quadratic growth
 

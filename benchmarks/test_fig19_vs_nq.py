@@ -9,7 +9,7 @@ from repro.motion import make_queries
 from conftest import SEED, cycle_time, run_one_cycle
 
 
-@pytest.mark.parametrize("method", ["query_indexing", "object_overhaul", "hierarchical"])
+@pytest.mark.parametrize("method", ["query_indexing", "object_overhaul", "hierarchical_rebuild"])
 @pytest.mark.parametrize("nq", [50, 200])
 def test_grid_cycle_vs_nq(benchmark, skewed_positions, method, nq):
     queries = make_queries(nq, seed=SEED + 1)
@@ -27,7 +27,7 @@ def test_fig19a_qi_wins_small_workloads(skewed_positions):
     few = make_queries(20, seed=SEED + 1)
     qi = cycle_time("query_indexing", skewed_positions, few).total_time
     oi = cycle_time("object_overhaul", skewed_positions, few).total_time
-    hier = cycle_time("hierarchical", skewed_positions, few).total_time
+    hier = cycle_time("hierarchical_rebuild", skewed_positions, few).total_time
     assert qi < oi
     assert qi < hier
 

@@ -7,7 +7,7 @@ import pytest
 from conftest import cycle_time, run_one_cycle
 
 
-@pytest.mark.parametrize("method", ["hierarchical", "object_overhaul", "query_indexing"])
+@pytest.mark.parametrize("method", ["hierarchical_rebuild", "object_overhaul", "query_indexing"])
 @pytest.mark.parametrize("k", [1, 10, 20])
 def test_cycle_vs_k(benchmark, skewed_positions, queries, method, k):
     benchmark(run_one_cycle(method, skewed_positions, queries, k=k))
@@ -15,7 +15,7 @@ def test_cycle_vs_k(benchmark, skewed_positions, queries, method, k):
 
 def test_fig20_roughly_linear_in_k(skewed_positions, queries):
     """Fig. 20: cost grows with k but far slower than quadratically."""
-    for method in ("hierarchical", "object_overhaul", "query_indexing"):
+    for method in ("hierarchical_rebuild", "object_overhaul", "query_indexing"):
         at_1 = cycle_time(method, skewed_positions, queries, k=1).total_time
         at_20 = cycle_time(method, skewed_positions, queries, k=20).total_time
         assert at_20 > at_1 * 0.8
@@ -24,6 +24,6 @@ def test_fig20_roughly_linear_in_k(skewed_positions, queries):
 
 def test_fig20_rtree_an_order_slower(skewed_positions, queries):
     """Fig. 20 (text): R-trees omitted from the plot for being ~10x slower."""
-    grid = cycle_time("hierarchical", skewed_positions, queries, k=10).total_time
+    grid = cycle_time("hierarchical_rebuild", skewed_positions, queries, k=10).total_time
     rtree = cycle_time("rtree_bottom_up", skewed_positions, queries, k=10).total_time
     assert rtree > grid * 2

@@ -45,7 +45,7 @@ def test_fig22a_hier_incremental_never_preferred(skewed_positions, queries):
         "hierarchical_incremental", skewed_positions, queries, vmax=FAST
     ).index_time
     rebuild = cycle_time(
-        "hierarchical", skewed_positions, queries, vmax=FAST
+        "hierarchical_rebuild", skewed_positions, queries, vmax=FAST
     ).index_time
     assert rebuild < incremental
 

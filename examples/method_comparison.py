@@ -13,7 +13,8 @@ Run with::
 from __future__ import annotations
 
 from repro import RandomWalkModel, answers_equal, make_dataset, make_queries
-from repro.bench import format_table, make_system, measure_cycles
+from repro.bench import format_table, measure_cycles
+from repro.engines.registry import build_system
 
 N_OBJECTS = 10_000
 N_QUERIES = 500
@@ -39,7 +40,7 @@ def main() -> None:
     rows = []
     reference_answers = None
     for method in METHODS:
-        system = make_system(method, K, queries)
+        system = build_system(method, K, queries)
         motion = RandomWalkModel(vmax=0.005, seed=19)
         timing = measure_cycles(system, positions, motion, cycles=CYCLES)
         # Cross-check exactness: every method must agree with the first.

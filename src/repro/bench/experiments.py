@@ -343,8 +343,8 @@ def ablation_delta0(scale: float = 1.0) -> ExperimentResult:
     )
     for delta0 in (1.0, 0.5, 0.25, 0.1, 0.05):
         timing = measure_method(
-            "hierarchical", n_objects, n_queries, k=K0, dataset="skewed",
-            cycles=CYCLES0, delta0=delta0,
+            "hierarchical_rebuild", n_objects, n_queries, k=K0,
+            dataset="skewed", cycles=CYCLES0, delta0=delta0,
         )
         index = HierarchicalObjectIndex(delta0=delta0)
         index.build(make_dataset("skewed", n_objects, seed=SEED))
@@ -372,8 +372,9 @@ def ablation_hier_params(scale: float = 1.0) -> ExperimentResult:
         (5, 3), (10, 2), (10, 3), (10, 4), (20, 3), (50, 3),
     ]:
         timing = measure_method(
-            "hierarchical", n_objects, n_queries, k=K0, dataset="skewed",
-            cycles=CYCLES0, max_cell_load=max_cell_load, split_factor=split_factor,
+            "hierarchical_rebuild", n_objects, n_queries, k=K0,
+            dataset="skewed", cycles=CYCLES0,
+            max_cell_load=max_cell_load, split_factor=split_factor,
         )
         index = HierarchicalObjectIndex(
             delta0=0.1, max_cell_load=max_cell_load, split_factor=split_factor
@@ -513,7 +514,7 @@ def ablation_rtree_maintenance(scale: float = 1.0) -> ExperimentResult:
         "bulk cheapest to maintain; the grid beats even STR bulk on total "
         "cycle time at realistic query counts",
     )
-    grid_methods = ("object_overhaul", "query_indexing", "hierarchical")
+    grid_methods = ("object_overhaul", "query_indexing", "hierarchical_rebuild")
     rtree_methods = ("rtree_overhaul", "rtree_bottom_up", "rtree_str_bulk")
     for method in rtree_methods + grid_methods:
         timing = measure_method(
@@ -538,7 +539,7 @@ def ablation_rtree_maintenance(scale: float = 1.0) -> ExperimentResult:
 # Figure 17: effect of data skew on every method
 # ----------------------------------------------------------------------
 _FIG17_METHODS = [
-    ("hierarchical", "hierarchical"),
+    ("hierarchical_rebuild", "hierarchical"),
     ("object_overhaul", "one_level"),
     ("query_indexing", "query_indexing"),
     ("rtree_overhaul", "rtree_overhaul"),
@@ -612,8 +613,8 @@ def fig18a_grid_vs_np(scale: float = 1.0) -> ExperimentResult:
             cycles=CYCLES0,
         )
         hier = measure_method(
-            "hierarchical", n_objects, n_queries, k=K0, dataset="skewed",
-            cycles=CYCLES0,
+            "hierarchical_rebuild", n_objects, n_queries, k=K0,
+            dataset="skewed", cycles=CYCLES0,
         )
         result.add_row(n_objects, qi.total_time, oi.total_time, hier.total_time)
     p_hier, _ = fit_power_law(result.column("n_objects"), result.column("hierarchical_s"))
@@ -676,8 +677,8 @@ def fig19a_grid_vs_nq(scale: float = 1.0) -> ExperimentResult:
             cycles=CYCLES0,
         )
         hier = measure_method(
-            "hierarchical", n_objects, n_queries, k=K0, dataset="skewed",
-            cycles=CYCLES0,
+            "hierarchical_rebuild", n_objects, n_queries, k=K0,
+            dataset="skewed", cycles=CYCLES0,
         )
         result.add_row(n_queries, qi.total_time, oi.total_time, hier.total_time)
     qi_times = result.column("query_indexing_s")
@@ -740,8 +741,8 @@ def fig20_scalability_k(scale: float = 1.0) -> ExperimentResult:
     )
     for k in (1, 5, 10, 15, 20):
         hier = measure_method(
-            "hierarchical", n_objects, n_queries, k=k, dataset="skewed",
-            cycles=CYCLES0,
+            "hierarchical_rebuild", n_objects, n_queries, k=k,
+            dataset="skewed", cycles=CYCLES0,
         )
         oi = measure_method(
             "object_overhaul", n_objects, n_queries, k=k, dataset="skewed",
@@ -859,7 +860,7 @@ def fig22a_object_maintenance_velocity(scale: float = 1.0) -> ExperimentResult:
         for method in (
             "object_overhaul",
             "object_incremental",
-            "hierarchical",
+            "hierarchical_rebuild",
             "hierarchical_incremental",
         ):
             timing = measure_method(
@@ -935,20 +936,15 @@ def fig22c_answering_velocity(scale: float = 1.0) -> ExperimentResult:
         ("object_overhaul", {}),
         ("object_incremental", {}),
         ("query_indexing", {}),
-        ("hierarchical", {"answering": "overhaul"}),
-        ("hierarchical", {"answering": "incremental"}),
+        ("hierarchical_rebuild", {"answering": "overhaul"}),
+        ("hierarchical_rebuild", {"answering": "incremental"}),
     ]
     for vmax in _VELOCITIES:
         row: List = [vmax]
         for method, extra in method_columns:
             queries = make_queries(n_queries, seed=SEED + 1)
             positions = make_dataset("skewed", n_objects, seed=SEED)
-            if method == "hierarchical":
-                system = MonitoringSystem.hierarchical(
-                    K0, queries, maintenance="rebuild", **extra
-                )
-            else:
-                system = build_system(method, K0, queries)
+            system = build_system(method, K0, queries, **extra)
             motion = RandomWalkModel(vmax=vmax, seed=SEED + 2)
             timing = measure_cycles(system, positions, motion, cycles=CYCLES0)
             row.append(timing.answer_time)

@@ -12,15 +12,16 @@ the same errors as ``create()`` users.
 
 :data:`METHOD_CONFIGS` maps public method names to their config classes;
 :func:`make_engine` instantiates the engine for a config (with late
-imports, since the engines import this module's neighbors).  Both
-:meth:`~repro.core.monitor.MonitoringSystem.create` and the benchmark
-layer's ``make_system`` resolve methods through this registry.
+imports, since the engines import this module's neighbors).  Every
+factory — :meth:`~repro.core.monitor.MonitoringSystem.create`,
+:func:`repro.engines.registry.build_system`, the bench presets, and the
+session layer's config dicts — resolves methods through this registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import ClassVar, Dict, Optional, Tuple, Type
+from typing import ClassVar, Dict, Mapping, Optional, Tuple, Type, Union
 
 from ..errors import ConfigurationError
 
@@ -65,6 +66,49 @@ class MethodConfig:
                 f"{self.method!r}; valid fields: {', '.join(valid) or '(none)'}"
             )
         return replace(self, **overrides) if overrides else self
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dict form that :meth:`from_dict` round-trips exactly.
+
+        The ``"method"`` key carries the registry name, so the dict is
+        self-describing — bench presets, CLI argument blobs, and the
+        session layer all serialize through this one shape.
+        """
+        out: Dict[str, object] = {"method": self.method}
+        for name in self.valid_fields():
+            out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MethodConfig":
+        """Build a config from a plain dict, rejecting unknown keys.
+
+        Called on :class:`MethodConfig` itself, the ``"method"`` key
+        selects the concrete config class; called on a subclass the key
+        is optional but must match.  Everything else goes through
+        :meth:`from_kwargs`, so typos fail with the valid field names.
+        """
+        kwargs = dict(data)
+        method = kwargs.pop("method", None)
+        if cls is MethodConfig:
+            if method is None:
+                known = ", ".join(sorted(METHOD_CONFIGS))
+                raise ConfigurationError(
+                    f"config dict needs a 'method' key; known methods: {known}"
+                )
+            target = METHOD_CONFIGS.get(str(method))
+            if target is None:
+                known = ", ".join(sorted(METHOD_CONFIGS))
+                raise ConfigurationError(
+                    f"unknown method {method!r}; known: {known}"
+                )
+        else:
+            target = cls
+            if method is not None and method != cls.method:
+                raise ConfigurationError(
+                    f"config dict is for method {method!r}, not {cls.method!r}"
+                )
+        return target.from_kwargs(**kwargs)
 
     def _engine_kwargs(self) -> Dict[str, object]:
         return {name: getattr(self, name) for name in self.valid_fields()}
@@ -161,6 +205,9 @@ class ShardedConfig(MethodConfig):
     task_timeout: float = 60.0
     heartbeat_every: int = 0
     oversubscribe: bool = False
+    #: Re-cut stripe boundaries from live-population quantiles when the
+    #: ``shard.imbalance_ratio`` gauge exceeds this (0 disables).
+    rebalance_threshold: float = 0.0
 
 
 #: Public method name -> config class; the single method registry.
@@ -182,18 +229,22 @@ METHOD_CONFIGS: Dict[str, Type[MethodConfig]] = {
 
 def resolve_config(
     method: str,
-    config: Optional[MethodConfig] = None,
+    config: Optional[Union[MethodConfig, Mapping[str, object]]] = None,
     overrides: Optional[Dict[str, object]] = None,
 ) -> MethodConfig:
     """The effective config for ``method``: defaults or ``config``, plus
-    ``overrides``.  Raises :class:`ConfigurationError` on an unknown
-    method, a config of the wrong type, or unknown override names."""
+    ``overrides``.  ``config`` may be a typed block or a plain mapping
+    (routed through :meth:`MethodConfig.from_dict`; its ``"method"`` key,
+    if present, must match).  Raises :class:`ConfigurationError` on an
+    unknown method, a config of the wrong type, or unknown names."""
     cls = METHOD_CONFIGS.get(method)
     if cls is None:
         known = ", ".join(sorted(METHOD_CONFIGS))
         raise ConfigurationError(f"unknown method {method!r}; known: {known}")
     if config is None:
         return cls.from_kwargs(**(overrides or {}))
+    if isinstance(config, Mapping):
+        config = cls.from_dict(config)
     if not isinstance(config, cls):
         raise ConfigurationError(
             f"config for method {method!r} must be a {cls.__name__}, "

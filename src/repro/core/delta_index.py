@@ -551,14 +551,15 @@ class DeltaCSRGrid:
         touched_old, del_counts = np.unique(del_cells, return_counts=True)
         # Deletions landing in the insert cells (sorted-set lookup; a
         # bincount over all cells would be O(ncells) per patch).
-        pos = np.searchsorted(touched_old, uniq_ins)
-        safe_pos = np.minimum(pos, max(0, len(touched_old) - 1))
-        hit = (
-            (pos < len(touched_old)) & (touched_old[safe_pos] == uniq_ins)
-            if len(touched_old)
-            else np.zeros(len(uniq_ins), dtype=bool)
-        )
-        dels_at_ins = np.where(hit, del_counts[safe_pos], 0)
+        if len(touched_old):
+            pos = np.searchsorted(touched_old, uniq_ins)
+            safe_pos = np.minimum(pos, len(touched_old) - 1)
+            hit = (pos < len(touched_old)) & (touched_old[safe_pos] == uniq_ins)
+            dels_at_ins = np.where(hit, del_counts[safe_pos], 0)
+        else:
+            # Pure-insert patch (churn: objects entering a stripe or the
+            # population with no one leaving this cycle).
+            dels_at_ins = np.zeros(len(uniq_ins), dtype=np.int64)
         capacity = cell_start[uniq_ins + 1] - cell_start[uniq_ins]
         occupied_after = live[uniq_ins] - dels_at_ins + ins_counts
         if np.any(occupied_after > capacity):
@@ -786,7 +787,18 @@ class DeltaGridEngine(BaseEngine):
     :class:`~repro.core.fast_index.FastGridEngine`; the ``snapshot_csr``
     stage slot reports the incremental maintenance time instead of a full
     rebuild.
+
+    Churn support (member mode): with a row-stable position universe and
+    an ``ObjectDelta.member_idx`` subset, joins and leaves reach the grid
+    as ordinary movers (cell ``-1`` ↔ live cell), so membership churn is
+    patched incrementally instead of forcing a rebuild.  Query deltas
+    remap the per-query reuse state through ``QueryDelta.kept``: a
+    surviving query keeps its previous answer, critical rectangle and
+    seeded radius; registered queries are answered by a one-shot overhaul
+    on their first cycle (their rows are masked out of the clean set).
     """
+
+    supports_member_idx = True
 
     def __init__(
         self,
@@ -814,6 +826,11 @@ class DeltaGridEngine(BaseEngine):
         self._prev_top_ids: Optional[np.ndarray] = None
         self._prev_rects: Optional[np.ndarray] = None
         self._prev_kth: Optional[np.ndarray] = None
+        self._prev_answers: Optional[List[AnswerList]] = None
+        self._member_idx: Optional[np.ndarray] = None
+        # Rows admitted by the last query delta: their remapped reuse
+        # slots are placeholders, so they must be re-answered once.
+        self._fresh_queries: Optional[np.ndarray] = None
 
     def bind_observability(self, registry: MetricsRegistry, tracer) -> None:
         super().bind_observability(registry, tracer)
@@ -834,7 +851,69 @@ class DeltaGridEngine(BaseEngine):
         self._prev_top_ids = None
         self._prev_rects = None
         self._prev_kth = None
+        self._prev_answers = None
         self.last_reuse_mask = None
+        self._fresh_queries = None
+
+    # ------------------------------------------------------------------
+    # Churn deltas
+    # ------------------------------------------------------------------
+    def apply_query_delta(self, delta) -> None:
+        """Admit a query churn batch, carrying surviving reuse state over.
+
+        ``delta.kept`` maps new rows to old rows; surviving queries keep
+        their previous answers, critical rectangles and k-th-distance
+        seeds (their positions are unchanged by contract).  New rows get
+        placeholder state and are force-re-answered on the next cycle.
+        """
+        kept = np.asarray(delta.kept, dtype=np.intp)
+        had_state = self._prev_top_d2 is not None
+        self.queries = np.asarray(delta.queries, dtype=np.float64)
+        nq = len(self.queries)
+        if not had_state:
+            self._drop_reuse_state()
+            return
+        has_prev = kept >= 0
+        safe = np.where(has_prev, kept, 0)
+        k = self.k
+        top_d2 = self._prev_top_d2[safe].copy()
+        top_ids = self._prev_top_ids[safe].copy()
+        rects = self._prev_rects[safe].copy()
+        kth = self._prev_kth[safe].copy()
+        new_rows = ~has_prev
+        top_d2[new_rows] = np.inf
+        top_ids[new_rows] = -1
+        rects[new_rows] = 0
+        kth[new_rows] = np.inf
+        if self._prev_answers is not None:
+            # Fresh rows get placeholders; they are force-re-answered
+            # (via _fresh_queries) before the next answers are returned.
+            self._prev_answers = [
+                self._prev_answers[i] if i >= 0 else AnswerList(k)
+                for i in kept
+            ]
+        self._prev_top_d2 = top_d2
+        self._prev_top_ids = top_ids
+        self._prev_rects = rects
+        self._prev_kth = kth
+        self._fresh_queries = new_rows if new_rows.any() else None
+        self.last_reuse_mask = None
+        assert len(top_d2) == nq
+
+    def apply_object_delta(self, delta) -> None:
+        """Admit an object churn batch.
+
+        Membership changes need no structural work here — the next
+        :meth:`maintain` passes the new ``member_idx`` to the grid, which
+        treats joins and leaves as movers.  Answer reuse stays sound:
+        every join or leave dirties its cell, so any query whose answer
+        could change is re-answered.  A compaction remaps row ids, which
+        invalidates the grid's cell bookkeeping and every stored answer
+        id — rebuild from scratch.
+        """
+        self._member_idx = delta.member_idx
+        if delta.compacted:
+            self.request_rebuild()
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -864,7 +943,12 @@ class DeltaGridEngine(BaseEngine):
     def maintain(self, positions: np.ndarray) -> None:
         with self._stage_tracer.span("delta_update") as span:
             positions = np.asarray(positions, dtype=np.float64)
-            ncells = self._resolve_ncells(len(positions))
+            member = self._member_idx
+            n_live = len(positions) if member is None else len(member)
+            # Sizing from the *live* population keeps the geometry
+            # identical to a fresh engine built from the packed survivors
+            # (the bit-identity contract of the churn suite).
+            ncells = self._resolve_ncells(n_live)
             grid = self.grid
             if grid is None or grid.nx != ncells:
                 self.grid = grid = DeltaCSRGrid(
@@ -873,12 +957,13 @@ class DeltaGridEngine(BaseEngine):
                     patch_threshold=self._patch_threshold,
                     slack=self._slack,
                     track_dirty=self._reuse,
+                    member_idx=member,
                 )
                 # A fresh grid means fresh geometry: old critical
                 # rectangles are meaningless in the new cell coordinates.
                 self._drop_reuse_state()
             else:
-                grid.update(positions)
+                grid.update(positions, member)
             self._positions = positions
         self._snapshot_time = span.duration
         metrics = self.metrics
@@ -921,8 +1006,13 @@ class DeltaGridEngine(BaseEngine):
             )
             if reusable:
                 clean = grid.clean_queries(self._prev_rects)
+                if self._fresh_queries is not None:
+                    # Rows admitted by the last query delta carry
+                    # placeholder rects — never reusable.
+                    clean &= ~self._fresh_queries
             else:
                 clean = np.zeros(nq, dtype=bool)
+            self._fresh_queries = None
         affected = np.flatnonzero(~clean)
         n_clean = int(nq - len(affected))
 
@@ -961,13 +1051,28 @@ class DeltaGridEngine(BaseEngine):
                 self.metrics.inc("fast.answer.ring_passes", stats["ring_passes"])
                 self.metrics.inc("fast.answer.pairs", stats["pairs"])
 
-        answers: List[AnswerList] = []
-        d_rows = top_d2.tolist()
-        i_rows = top_ids.tolist()
-        for query_id in range(nq):
-            answer = AnswerList(k)
-            answer._entries = list(zip(d_rows[query_id], i_rows[query_id]))
-            answers.append(answer)
+        prev_answers = self._prev_answers
+        if prev_answers is not None and len(prev_answers) == nq:
+            # Clean queries keep last cycle's AnswerList objects (and
+            # their memoized neighbors); only re-answered rows are
+            # materialized again.
+            answers = prev_answers
+            if len(affected):
+                d_rows = top_d2[affected].tolist()
+                i_rows = top_ids[affected].tolist()
+                for j, query_id in enumerate(affected.tolist()):
+                    answer = AnswerList(k)
+                    answer._entries = list(zip(d_rows[j], i_rows[j]))
+                    answers[query_id] = answer
+        else:
+            answers = []
+            d_rows = top_d2.tolist()
+            i_rows = top_ids.tolist()
+            for query_id in range(nq):
+                answer = AnswerList(k)
+                answer._entries = list(zip(d_rows[query_id], i_rows[query_id]))
+                answers.append(answer)
+        self._prev_answers = answers
 
         self._prev_top_d2 = top_d2
         self._prev_top_ids = top_ids

@@ -52,7 +52,7 @@ from ..grid.grid2d import resolve_grid_size
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..obs.tracing import NULL_TRACER, Tracer
 
-from ..engines.base import BaseEngine
+from ..engines.base import BaseEngine, _as_queries
 from .answers import AnswerList
 
 STAGE_NAMES = ("snapshot_csr", "radii", "gather", "select")
@@ -487,7 +487,16 @@ class FastGridEngine(BaseEngine):
     Same :class:`~repro.core.monitor.BaseEngine` contract as the
     paper-faithful engines, exact answers with ties broken by object ID.
     Stage timings of every cycle are appended to :attr:`stage_history`.
+
+    Churn support: the engine rebuilds its CSR snapshot every cycle and
+    keeps no cross-cycle per-query state, so query deltas are a plain
+    array swap and object deltas only record the live subset — in member
+    mode the snapshot is built over ``positions[member_idx]`` with the
+    member rows as global object IDs, so reported neighbor IDs stay
+    row-stable across joins and leaves.
     """
+
+    supports_member_idx = True
 
     def __init__(
         self,
@@ -500,6 +509,7 @@ class FastGridEngine(BaseEngine):
         self.name = "fast-grid"
         self._ncells = ncells
         self._delta = delta
+        self._member_idx: Optional[np.ndarray] = None
         self.csr: Optional[CSRGrid] = None
         self.stage_history: List[StageTimings] = []
         self._snapshot_time = 0.0
@@ -524,6 +534,16 @@ class FastGridEngine(BaseEngine):
             return resolve_grid_size(n_objects=max(1, n_objects))
         return resolve_grid_size(self._ncells, self._delta, None)
 
+    def apply_query_delta(self, delta) -> None:
+        # No cross-cycle per-query state: admitting a query churn batch
+        # is just the swap, no rebuild needed.
+        self.queries = _as_queries(delta.queries)
+
+    def apply_object_delta(self, delta) -> None:
+        # The snapshot is rebuilt from scratch each maintain() anyway;
+        # membership churn only updates which rows that rebuild indexes.
+        self._member_idx = delta.member_idx
+
     def load(self, positions: np.ndarray) -> None:
         self.stage_history = []
         self.maintain(positions)
@@ -531,7 +551,17 @@ class FastGridEngine(BaseEngine):
     def maintain(self, positions: np.ndarray) -> None:
         with self._stage_tracer.span("csr_snapshot") as span:
             positions = np.asarray(positions, dtype=np.float64)
-            self.csr = CSRGrid(positions, self._resolve_ncells(len(positions)))
+            member = self._member_idx
+            if member is None:
+                self.csr = CSRGrid(
+                    positions, self._resolve_ncells(len(positions))
+                )
+            else:
+                self.csr = CSRGrid(
+                    positions[member],
+                    self._resolve_ncells(len(member)),
+                    object_ids=member,
+                )
             self._positions = positions
         self._snapshot_time = span.duration
 

@@ -121,19 +121,24 @@ class MonitoringSystem:
     ) -> "MonitoringSystem":
         """Build a monitoring system by method name.
 
-        ``method`` is one of the names in
-        :data:`~repro.core.config.METHOD_CONFIGS`.  Method options come
-        either from a typed ``config`` block or from keyword
-        ``overrides`` — or both, with overrides applied on top.  Unknown
-        option names raise :class:`~repro.errors.ConfigurationError`
-        listing the valid fields.  The engine class is resolved through
-        :data:`repro.engines.registry.ENGINE_PATHS`.
+        This is the same canonical entry point as
+        :func:`repro.engines.registry.build_system` — ``create`` is a
+        thin delegate of it, so both accept the same names: any method
+        in :data:`~repro.core.config.METHOD_CONFIGS` *or* any benchmark
+        preset in :data:`~repro.engines.registry.BENCH_PRESETS`.  Method
+        options come from a typed ``config`` block, a plain config dict
+        (``{"method": ..., ...}`` — see
+        :meth:`~repro.core.config.MethodConfig.from_dict`), or keyword
+        ``overrides`` — with overrides applied on top.  Unknown option
+        names raise :class:`~repro.errors.ConfigurationError` listing
+        the valid fields.
         """
-        from ..engines.registry import make_engine
-        from .config import resolve_config
+        from ..engines.registry import build_system
 
-        resolved = resolve_config(method, config, overrides)
-        return cls(make_engine(resolved, k, queries), tau=tau, registry=registry)
+        return build_system(
+            method, k, queries, config=config, tau=tau, registry=registry,
+            **overrides,
+        )
 
     @classmethod
     def object_indexing(cls, k, queries, *, tau=1.0, registry=None, **options):

@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -47,10 +47,51 @@ def _as_queries(queries: np.ndarray) -> np.ndarray:
     return queries
 
 
+@dataclass(frozen=True)
+class QueryDelta:
+    """One cycle's batched query-set change, applied between cycles.
+
+    ``queries`` is the complete post-churn ``(nq', 2)`` array; ``kept``
+    maps each new row to the engine row it occupied before the delta
+    (``-1`` for newly registered queries).  Kept rows carry *unchanged*
+    positions — the session layer registers and drops queries but never
+    moves them through a delta, so per-query state (previous answers,
+    critical rectangles, routing seeds) stays valid under the remap.
+    """
+
+    queries: np.ndarray
+    kept: np.ndarray
+
+
+@dataclass(frozen=True)
+class ObjectDelta:
+    """One cycle's batched object-population change.
+
+    ``joined``/``left`` hold the affected row ids of the caller's
+    position array (opaque to engines that rebuild); ``member_idx`` is
+    the full sorted set of live rows when the caller runs engines in
+    *member mode* (positions stay a stable row universe and membership
+    is a subset), or ``None`` when the caller compacts positions to the
+    live population itself.  ``compacted`` marks a row-remapping event:
+    every cross-cycle structure keyed by row id is invalid.
+    """
+
+    joined: np.ndarray
+    left: np.ndarray
+    member_idx: Optional[np.ndarray]
+    n_universe: int
+    compacted: bool = False
+
+
 class BaseEngine(abc.ABC):
     """One monitoring method: how to maintain an index and answer queries."""
 
     name = "base"
+
+    #: Whether the engine can index a row-stable position universe with a
+    #: changing live subset (``ObjectDelta.member_idx``).  Engines without
+    #: it receive densely packed positions and rebuild on churn.
+    supports_member_idx: ClassVar[bool] = False
 
     def __init__(self, k: int, queries: np.ndarray) -> None:
         if k < 1:
@@ -58,6 +99,7 @@ class BaseEngine(abc.ABC):
         self.k = k
         self.queries = _as_queries(queries)
         self._positions: Optional[np.ndarray] = None
+        self._rebuild_pending = False
         self.metrics: MetricsRegistry = NULL_REGISTRY
         self.tracer = NULL_TRACER
 
@@ -90,6 +132,48 @@ class BaseEngine(abc.ABC):
                 f"{len(queries)}; build a new monitoring system instead"
             )
         self.queries = queries
+
+    # ------------------------------------------------------------------
+    # Churn deltas (streaming session layer)
+    # ------------------------------------------------------------------
+    def request_rebuild(self) -> None:
+        """Ask the pipeline to run :meth:`load` instead of :meth:`maintain`
+        on the next cycle (cross-cycle state is about to be invalid)."""
+        self._rebuild_pending = True
+
+    def take_rebuild_request(self) -> bool:
+        """Consume a pending rebuild request (pipeline-internal)."""
+        pending = self._rebuild_pending
+        self._rebuild_pending = False
+        return pending
+
+    def apply_query_delta(self, delta: QueryDelta) -> None:
+        """Admit one cycle's batched query registrations and drops.
+
+        The default is the cheap, always-correct fallback: swap the
+        query array wholesale (unlike :meth:`set_queries`, the count may
+        change) and request a rebuild, which resets whatever per-query
+        state the engine tracks positionally.  Engines with remappable
+        per-query state override this and use ``delta.kept`` instead.
+        """
+        self.queries = _as_queries(delta.queries)
+        self.request_rebuild()
+
+    def apply_object_delta(self, delta: ObjectDelta) -> None:
+        """Admit one cycle's batched object joins and leaves.
+
+        Default fallback: any membership change (or a compaction remap)
+        invalidates the index, so request a rebuild; pure-move cycles
+        (empty delta) cost nothing.  Engines that can patch membership
+        incrementally override this.
+        """
+        if delta.member_idx is not None and not self.supports_member_idx:
+            raise ConfigurationError(
+                f"engine {self.name!r} does not support member-mode position "
+                "universes; pass densely packed positions instead"
+            )
+        if len(delta.joined) or len(delta.left) or delta.compacted:
+            self.request_rebuild()
 
     @abc.abstractmethod
     def load(self, positions: np.ndarray) -> None:
@@ -223,12 +307,18 @@ class CyclePipeline:
         ``initial=True`` runs the engine's :meth:`~BaseEngine.load` stage
         (under the ``load`` span) and resets :attr:`history`; otherwise
         :meth:`~BaseEngine.maintain` runs under the ``maintain`` span.
+        An engine-requested rebuild (:meth:`BaseEngine.request_rebuild`,
+        the churn-delta fallback) also routes through :meth:`load` — but
+        mid-stream, so :attr:`history` keeps accumulating.
         """
         registry = self.registry
+        reload = self.engine.take_rebuild_request() or initial
         before = registry.counter_values() if registry.enabled else None
+        if reload and not initial:
+            registry.inc("cycle.churn_rebuilds")
         start = time.perf_counter()
-        with self.tracer.span("load" if initial else "maintain"):
-            if initial:
+        with self.tracer.span("load" if reload else "maintain"):
+            if reload:
                 self.engine.load(positions)
             else:
                 self.engine.maintain(positions)

@@ -17,6 +17,16 @@ class BruteForceEngine(BaseEngine):
 
     name = "brute-force"
 
+    def apply_query_delta(self, delta) -> None:
+        # Stateless: a query churn batch is just the swap (no index, no
+        # per-query state, nothing to rebuild).
+        self.queries = np.asarray(delta.queries, dtype=np.float64)
+
+    def apply_object_delta(self, delta) -> None:
+        # Stateless over densely packed positions; nothing to invalidate.
+        if delta.member_idx is not None:
+            super().apply_object_delta(delta)
+
     def load(self, positions: np.ndarray) -> None:
         self._positions = np.asarray(positions, dtype=np.float64)
 

@@ -1,4 +1,10 @@
-"""Hierarchical Object-Indexing engine (paper §4)."""
+"""Hierarchical Object-Indexing engine (paper §4).
+
+Churn: the adaptive cell tree is built over the dense object population
+and its per-query answer state is positional, so both delta hooks keep
+the :class:`~repro.engines.base.BaseEngine` rebuild fallback — the
+session layer packs survivors densely and the next cycle reloads.
+"""
 
 from __future__ import annotations
 

@@ -54,6 +54,22 @@ class ObjectIndexingEngine(BaseEngine):
         if self.index is not None:
             self.index.tracer = tracer
 
+    def apply_query_delta(self, delta) -> None:
+        """Admit query churn, keeping survivors' incremental-answer state.
+
+        ``_previous_ids`` (the previous answer each query refines in
+        ``answering="incremental"`` mode) is positional, so it is
+        remapped through ``delta.kept``; registered queries start from
+        an empty previous answer, i.e. a one-shot overhaul.  The object
+        index itself is untouched — no rebuild needed.
+        """
+        previous = self._previous_ids
+        self.queries = np.asarray(delta.queries, dtype=np.float64)
+        self._previous_ids = [
+            list(previous[old]) if old >= 0 else []
+            for old in np.asarray(delta.kept, dtype=np.intp)
+        ]
+
     def load(self, positions: np.ndarray) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         self.index = self._make_index(len(positions))

@@ -1,4 +1,12 @@
-"""Grid Query-Indexing engine (paper §3.3)."""
+"""Grid Query-Indexing engine (paper §3.3).
+
+Churn: the engine indexes the *query* set, so query registrations and
+drops invalidate the whole index — it keeps the
+:class:`~repro.engines.base.BaseEngine` delta fallback (swap the array,
+rebuild next cycle), which is the honest cost of this method under
+churn.  Object joins/leaves likewise rebuild (positions arrive densely
+packed from the session layer).
+"""
 
 from __future__ import annotations
 

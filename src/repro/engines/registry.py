@@ -11,7 +11,7 @@ sharded engine, for instance, drags in ``multiprocessing``).
 from __future__ import annotations
 
 import importlib
-from typing import Dict, Mapping, Optional, Tuple, Type
+from typing import Dict, Mapping, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -71,7 +71,7 @@ BENCH_PRESETS: Dict[str, Tuple[str, Dict[str, object]]] = {
     ),
     "query_indexing": ("query_indexing", {"maintenance": "incremental"}),
     "query_indexing_rebuild": ("query_indexing", {"maintenance": "rebuild"}),
-    "hierarchical": (
+    "hierarchical_rebuild": (
         "hierarchical", {"maintenance": "rebuild", "answering": "incremental"}
     ),
     "hierarchical_incremental": (
@@ -89,14 +89,22 @@ BENCH_PRESETS: Dict[str, Tuple[str, Dict[str, object]]] = {
 
 
 def resolve_preset(method: str, overrides: Mapping[str, object]) -> Tuple[str, Dict[str, object]]:
-    """``(registry method, merged options)`` for a preset or bare method name."""
+    """``(registry method, merged options)`` for a preset or bare method name.
+
+    Bare registry method names are authoritative: they always resolve to
+    the method's config-class defaults, never to a preset that happens to
+    share the name.  Presets with non-default payloads therefore carry
+    distinct names (``hierarchical_rebuild``, ``object_overhaul``, ...);
+    the remaining same-named entries in :data:`BENCH_PRESETS` are no-op
+    shadows kept so the bench suite can enumerate one table.
+    """
+    if method in METHOD_CONFIGS:
+        return method, dict(overrides)
     if method in BENCH_PRESETS:
         base, preset = BENCH_PRESETS[method]
         merged: Dict[str, object] = dict(preset)
         merged.update(overrides)
         return base, merged
-    if method in METHOD_CONFIGS:
-        return method, dict(overrides)
     known = ", ".join(sorted(set(BENCH_PRESETS) | set(METHOD_CONFIGS)))
     raise ConfigurationError(f"unknown method {method!r}; known: {known}")
 
@@ -106,15 +114,20 @@ def build_system(
     k: int,
     queries: np.ndarray,
     *,
-    config: Optional[MethodConfig] = None,
+    config: Optional[Union[MethodConfig, Mapping[str, object]]] = None,
     tau: float = 1.0,
     registry: Optional[MetricsRegistry] = None,
     **overrides: object,
 ):
     """Build a :class:`~repro.core.monitor.MonitoringSystem` by name.
 
-    ``method`` may be a benchmark preset (``object_overhaul``, ...) or any
-    bare registry method name (``object_indexing``, ``sharded``, ...);
+    The canonical system factory —
+    :meth:`repro.core.monitor.MonitoringSystem.create` delegates here,
+    so the two names are one entry point.  ``method`` may be a benchmark
+    preset (``object_overhaul``, ...) or any bare registry method name
+    (``object_indexing``, ``sharded``, ...); ``config`` may be a typed
+    :class:`~repro.core.config.MethodConfig` block or a plain dict
+    (validated via :meth:`~repro.core.config.MethodConfig.from_dict`);
     keyword ``overrides`` are applied on top of the preset's options and
     validated against the method's config class either way.
     """

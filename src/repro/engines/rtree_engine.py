@@ -1,4 +1,10 @@
-"""R-tree baseline engine (paper §5.4)."""
+"""R-tree baseline engine (paper §5.4).
+
+Churn: the tree is keyed by dense object ids, so population changes take
+the :class:`~repro.engines.base.BaseEngine` rebuild fallback (the
+``str_bulk``/``bottom_up`` modes already rebuild on a population-size
+change); query deltas are a plain swap + rebuild.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,30 @@
+"""Streaming session layer: dynamic query/object lifecycle over engines.
+
+The paper's monitoring model assumes queries and objects "can be
+installed and removed at any time", but the engine layer fixes both
+populations at construction.  :class:`~repro.service.session.MonitoringSession`
+closes that gap: callers register and drop queries, join and leave
+objects, and stream position updates between cycles; the session batches
+the lifecycle calls into per-cycle admission sets and applies them
+through the engines' ``apply_query_delta``/``apply_object_delta`` hooks
+(:mod:`repro.engines.base`) — incrementally where the engine supports
+it, by rebuild fallback everywhere else.
+
+Public surface: :class:`MonitoringSession`, the stable
+:class:`QueryHandle` it hands out, the :class:`AdmissionDeferred`
+backpressure result, and :class:`SessionAnswer`.
+"""
+
+from .session import (
+    AdmissionDeferred,
+    MonitoringSession,
+    QueryHandle,
+    SessionAnswer,
+)
+
+__all__ = [
+    "AdmissionDeferred",
+    "MonitoringSession",
+    "QueryHandle",
+    "SessionAnswer",
+]

@@ -56,7 +56,24 @@ _EDGE_EPS = 1e-12
 
 
 class ShardedGridEngine(BaseEngine):
-    """Stripe-sharded CSR engine with a persistent worker pool."""
+    """Stripe-sharded CSR engine with a persistent worker pool.
+
+    Churn support (member mode): the position array is treated as a
+    row-stable universe whose live subset arrives via
+    ``ObjectDelta.member_idx`` — vacant rows carry the ``(-1, -1)``
+    sentinel and workers filter them before the stripe ownership test, so
+    joins and leaves reach each stripe's delta grid as ordinary movers.
+    Query deltas remap the per-query routing seeds (``_prev_kth``)
+    through ``QueryDelta.kept``: surviving queries keep their seeded
+    interval, registered ones route to their home stripe and escalate —
+    a one-shot overhaul confined to the new rows.  When
+    ``rebalance_threshold`` is set and the consulted stripes' population
+    imbalance exceeds it, the stripe boundaries are re-cut from live-x
+    quantiles; answers are partition-independent (the escalation loop
+    proves exactness under any cut), so seeds survive a rebalance.
+    """
+
+    supports_member_idx = True
 
     def __init__(
         self,
@@ -69,6 +86,7 @@ class ShardedGridEngine(BaseEngine):
         task_timeout: float = 60.0,
         heartbeat_every: int = 0,
         oversubscribe: bool = False,
+        rebalance_threshold: float = 0.0,
     ) -> None:
         super().__init__(k, queries)
         workers = int(workers)
@@ -96,12 +114,17 @@ class ShardedGridEngine(BaseEngine):
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if seed_slack < 0.0:
             raise ConfigurationError(f"seed_slack must be >= 0, got {seed_slack}")
+        if rebalance_threshold < 0.0:
+            raise ConfigurationError(
+                f"rebalance_threshold must be >= 0, got {rebalance_threshold}"
+            )
         self.name = f"sharded/{workers}w{shards}s"
         self.workers = workers
         self.n_shards = shards
         self.seed_slack = float(seed_slack)
         self.task_timeout = float(task_timeout)
         self.heartbeat_every = int(heartbeat_every)
+        self.rebalance_threshold = float(rebalance_threshold)
         self.partition = StripePartition(shards)
         self._pool: Optional[ShardWorkerPool] = None
         self._serial_cache: CSRCache = {}
@@ -109,9 +132,17 @@ class ShardedGridEngine(BaseEngine):
         self._deferred_index_seconds = 0.0
         self._cycle = -1
         self._n = 0
+        self._n_live = 0
         self._shm_name: Optional[str] = None
         self._prev_kth: Optional[np.ndarray] = None
         self._prev_cycle = -2
+        self._member_idx: Optional[np.ndarray] = None
+        #: Bumped whenever the caller remaps object rows (session
+        #: compaction); shipped with every task so stripe caches keyed by
+        #: the old row ids self-invalidate.
+        self._epoch = 0
+        self._last_imbalance = 1.0
+        self.rebalances = 0
 
     def set_queries(self, queries: np.ndarray) -> None:
         """Move the query points, dropping the per-query routing seeds.
@@ -122,11 +153,61 @@ class ShardedGridEngine(BaseEngine):
         would stay exact regardless (the escalation loop re-routes any
         query whose seeded radius proves too small), but stale seeds
         cause avoidable escalation rounds — so invalidate them and let
-        the next cycle take the overhaul route.
+        the next cycle take the overhaul route.  The per-stripe query
+        gauges are refreshed at swap time from the new home stripes, so
+        dashboards never show the pre-swap routing for a whole cycle.
         """
         super().set_queries(queries)
         self._prev_kth = None
         self._prev_cycle = -2
+        self._refresh_query_gauges()
+
+    def apply_query_delta(self, delta) -> None:
+        """Admit query churn, carrying surviving routing seeds over.
+
+        Surviving queries keep their previous k-th-NN distance (their
+        positions are unchanged by contract, so the seeded interval is
+        still tight); registered queries get an ``inf`` seed, which the
+        router sends to the home stripe for a one-shot overhaul.  No
+        rebuild: stripe snapshots are query-independent.
+        """
+        old_kth = self._prev_kth
+        kept = np.asarray(delta.kept, dtype=np.intp)
+        self.queries = np.asarray(delta.queries, dtype=np.float64)
+        if old_kth is not None:
+            has_prev = kept >= 0
+            safe = np.where(has_prev, kept, 0)
+            new_kth = old_kth[safe].copy()
+            new_kth[~has_prev] = np.inf
+            self._prev_kth = new_kth
+        self._refresh_query_gauges()
+
+    def apply_object_delta(self, delta) -> None:
+        """Admit object churn (joins/leaves as a new live subset).
+
+        Membership reaches the workers through their own recomputed
+        stripe masks, so nothing structural happens here.  A compaction
+        remaps rows: the routing seeds stay valid (distances are
+        row-independent) but every stripe grid's row-keyed cell state is
+        stale, so the epoch tag is bumped to force fresh stripe builds.
+        """
+        self._member_idx = delta.member_idx
+        if delta.compacted:
+            self._epoch += 1
+
+    def _refresh_query_gauges(self) -> None:
+        """Per-stripe query-count gauges from the current home stripes."""
+        if not self.metrics.enabled:
+            return
+        if self.n_queries:
+            home = self.partition.shard_of(self.queries[:, 0])
+            counts = np.bincount(home, minlength=self.n_shards)
+        else:
+            counts = np.zeros(self.n_shards, dtype=np.int64)
+        for shard in range(self.n_shards):
+            self.metrics.set_gauge(
+                "shard.stripe.queries", int(counts[shard]), labels={"shard": shard}
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle / plumbing
@@ -192,6 +273,14 @@ class ShardedGridEngine(BaseEngine):
         self._cycle += 1
         self._positions = positions
         self._n = len(positions)
+        member = self._member_idx
+        self._n_live = self._n if member is None else len(member)
+        if (
+            self.rebalance_threshold > 0.0
+            and self.n_shards > 1
+            and self._last_imbalance > self.rebalance_threshold
+        ):
+            self._rebalance(positions, member)
         if self.worker_cap_applied and not self._cap_reported:
             self.metrics.inc("shard.worker_cap_applied")
             self._cap_reported = True
@@ -212,7 +301,7 @@ class ShardedGridEngine(BaseEngine):
         if self._positions is None:
             raise IndexStateError("load() must run before answer()")
         k = self.k
-        n = self._n
+        n = self._n_live
         if k > n:
             raise NotEnoughObjectsError(k, n)
         nq = self.n_queries
@@ -238,8 +327,17 @@ class ShardedGridEngine(BaseEngine):
             and self._prev_cycle == self._cycle - 1
         )
         if seeded:
-            r = self._prev_kth * (1.0 + self.seed_slack) + _EDGE_EPS
+            # Per-query: surviving queries route by their seeded radius;
+            # freshly registered ones (seed == inf after a query delta)
+            # start from the home stripe like an overhaul and escalate.
+            finite = np.isfinite(self._prev_kth)
+            r = np.where(finite, self._prev_kth, 0.0)
+            r = r * (1.0 + self.seed_slack) + _EDGE_EPS
             cons_lo, cons_hi = self.partition.range_overlapping(qx - r, qx + r)
+            if not finite.all():
+                home = self.partition.shard_of(qx)
+                cons_lo = np.where(finite, cons_lo, home)
+                cons_hi = np.where(finite, cons_hi, home)
             metrics.inc("shard.seeded_cycles")
         else:
             cons_lo = cons_hi = self.partition.shard_of(qx)
@@ -266,10 +364,12 @@ class ShardedGridEngine(BaseEngine):
             with self.tracer.span("shard_dispatch"):
                 results = self._run_tasks(assignments, qx, qy)
             dispatch_seconds += perf_counter() - t0
-            if obs:
-                for out in results:
-                    shard = int(out["shard"])
-                    stripe_objects[shard] = int(out["n_shard"])
+            # Stripe populations feed the rebalancer even when metrics
+            # are off; query tallies are observability-only.
+            for out in results:
+                shard = int(out["shard"])
+                stripe_objects[shard] = int(out["n_shard"])
+                if obs:
                     stripe_queries[shard] = stripe_queries.get(shard, 0) + len(
                         out["qidx"]
                     )
@@ -312,13 +412,18 @@ class ShardedGridEngine(BaseEngine):
         metrics.inc("shard.merge_seconds", merge_seconds)
         metrics.inc("shard.build_seconds", self._deferred_index_seconds)
         metrics.inc("shard.rounds", rounds)
+        # Imbalance over the consulted stripes (max/mean object count;
+        # 1.0 = perfectly balanced) drives the optional rebalancer on the
+        # next maintain(), so it is tracked even without a registry.
+        if stripe_objects:
+            sizes = list(stripe_objects.values())
+            mean = sum(sizes) / len(sizes)
+            self._last_imbalance = max(sizes) / mean if mean > 0 else 1.0
         if obs:
             metrics.set_gauge("shard.last_rounds", rounds)
-            # Health gauges: per-stripe populations this cycle, and how
-            # lopsided the consulted stripes were (max/mean object count;
-            # 1.0 = perfectly balanced).  Only stripes consulted this
-            # cycle are refreshed — untouched stripes keep their last
-            # known population.
+            # Health gauges: per-stripe populations this cycle.  Only
+            # stripes consulted this cycle are refreshed — untouched
+            # stripes keep their last known population.
             for shard, count in stripe_objects.items():
                 metrics.set_gauge(
                     "shard.stripe.objects", count, labels={"shard": shard}
@@ -328,12 +433,7 @@ class ShardedGridEngine(BaseEngine):
                     "shard.stripe.queries", count, labels={"shard": shard}
                 )
             if stripe_objects:
-                sizes = list(stripe_objects.values())
-                mean = sum(sizes) / len(sizes)
-                metrics.set_gauge(
-                    "shard.imbalance_ratio",
-                    max(sizes) / mean if mean > 0 else 1.0,
-                )
+                metrics.set_gauge("shard.imbalance_ratio", self._last_imbalance)
         return answers
 
     def pop_deferred_index_seconds(self) -> float:
@@ -354,6 +454,34 @@ class ShardedGridEngine(BaseEngine):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _rebalance(
+        self, positions: np.ndarray, member: Optional[np.ndarray]
+    ) -> None:
+        """Re-cut stripe boundaries from live-x quantiles.
+
+        Runs at the top of :meth:`maintain` when the last cycle's
+        consulted-stripe imbalance exceeded ``rebalance_threshold``.
+        Every stripe whose region changes fails the workers' cache
+        region check and is rebuilt fresh; the routing seeds survive
+        (a query's k-th-NN distance does not depend on the cut) and the
+        escalation loop keeps answers exact under any partition.
+        """
+        x = positions[:, 0] if member is None else positions[member, 0]
+        if len(x) == 0:
+            return
+        edges = np.quantile(x, np.linspace(0.0, 1.0, self.n_shards + 1))
+        edges[0] = 0.0
+        edges[-1] = 1.0
+        if np.any(np.diff(edges) <= 0.0):
+            # Degenerate population (duplicate quantiles): keep the
+            # current cut rather than create empty zero-width stripes.
+            self._last_imbalance = 1.0
+            return
+        self.partition = StripePartition(self.n_shards, edges)
+        self.rebalances += 1
+        self._last_imbalance = 1.0
+        self.metrics.inc("shard.rebalances")
+
     def _interval_assignments(
         self, lo: np.ndarray, hi: np.ndarray
     ) -> Dict[int, np.ndarray]:
@@ -375,6 +503,9 @@ class ShardedGridEngine(BaseEngine):
         serial = self.workers == 0
         pool = None if serial else self._ensure_pool()
         obs = bool(metrics.enabled)
+        bounds = self.partition.bounds
+        if bounds is not None:
+            bounds = tuple(bounds.tolist())
         for shard, qidx in assignments.items():
             payload = {
                 "cmd": "cycle",
@@ -387,6 +518,9 @@ class ShardedGridEngine(BaseEngine):
                 "qx": qx[qidx],
                 "qy": qy[qidx],
                 "obs": obs,
+                "epoch": self._epoch,
+                "churn": self._member_idx is not None,
+                "bounds": bounds,
             }
             metrics.inc("shard.queries_routed", len(qidx))
             metrics.inc("shard.tasks")

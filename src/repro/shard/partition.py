@@ -1,22 +1,29 @@
 """Spatial stripe partition of the unit square.
 
-The sharded engine splits ``[0,1)^2`` into ``S`` vertical stripes of
-equal width; shard ``s`` owns ``[s/S, (s+1)/S) x [0, 1)`` (the last
-stripe is closed on the right so ``x == 1.0`` has an owner).  Stripes —
-rather than tiles — keep the routing rule one-dimensional: the shards a
-query's critical rectangle ``[qx - r, qx + r]`` overlaps form one
-contiguous run ``[s_lo, s_hi]``, so the escalation loop of the engine
-only ever widens an interval.
+The sharded engine splits ``[0,1)^2`` into ``S`` vertical stripes; shard
+``s`` owns ``[b_s, b_{s+1}) x [0, 1)`` (the last stripe is closed on the
+right so ``x == 1.0`` has an owner).  Stripes — rather than tiles — keep
+the routing rule one-dimensional: the shards a query's critical
+rectangle ``[qx - r, qx + r]`` overlaps form one contiguous run
+``[s_lo, s_hi]``, so the escalation loop of the engine only ever widens
+an interval.
 
-Objects sitting *exactly* on an interior boundary ``s/S`` belong to the
-right-hand stripe (``floor`` semantics) — both the parent's routing and
-the workers' membership masks use the same :func:`StripePartition.shard_of`
+By default the stripes are equal-width (``b_s = s/S``, evaluated with
+``floor`` arithmetic so historic boundary behaviour is bit-identical);
+the engine's load rebalancer may instead supply explicit ``bounds`` cut
+from live-population quantiles, in which case ownership is resolved by
+``searchsorted`` over the interior edges with the same closed/half-open
+conventions.
+
+Objects sitting *exactly* on an interior boundary belong to the
+right-hand stripe — both the parent's routing and the workers'
+membership masks use the same :func:`StripePartition.shard_of`
 expression, so no object is ever indexed twice or dropped.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -24,28 +31,54 @@ from ..errors import ConfigurationError
 
 
 class StripePartition:
-    """``S`` equal-width vertical stripes over the unit square."""
+    """``S`` vertical stripes over the unit square (uniform or custom)."""
 
-    __slots__ = ("n_shards",)
+    __slots__ = ("n_shards", "bounds", "_inner")
 
-    def __init__(self, n_shards: int) -> None:
+    def __init__(
+        self, n_shards: int, bounds: Optional[np.ndarray] = None
+    ) -> None:
         n_shards = int(n_shards)
         if n_shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {n_shards}")
         self.n_shards = n_shards
+        if bounds is None:
+            self.bounds: Optional[np.ndarray] = None
+            self._inner: Optional[np.ndarray] = None
+            return
+        edges = np.asarray(bounds, dtype=np.float64)
+        if edges.shape != (n_shards + 1,):
+            raise ConfigurationError(
+                f"bounds must have {n_shards + 1} edges, got shape {edges.shape}"
+            )
+        if edges[0] != 0.0 or edges[-1] != 1.0:
+            raise ConfigurationError(
+                f"bounds must span [0, 1], got [{edges[0]}, {edges[-1]}]"
+            )
+        if np.any(np.diff(edges) <= 0.0):
+            raise ConfigurationError("bounds must be strictly increasing")
+        self.bounds = edges
+        self._inner = edges[1:-1]
 
     def region(self, shard: int) -> Tuple[float, float, float, float]:
         """The rectangle ``(x0, y0, x1, y1)`` owned by ``shard``."""
         s = self.n_shards
         if not 0 <= shard < s:
             raise ConfigurationError(f"shard {shard} out of range [0, {s})")
-        return (shard / s, 0.0, (shard + 1) / s, 1.0)
+        if self.bounds is None:
+            return (shard / s, 0.0, (shard + 1) / s, 1.0)
+        return (float(self.bounds[shard]), 0.0, float(self.bounds[shard + 1]), 1.0)
 
     def shard_of(self, x: np.ndarray) -> np.ndarray:
         """Owning shard per x-coordinate (``x == 1.0`` maps to the last)."""
         s = self.n_shards
-        idx = np.floor(np.asarray(x, dtype=np.float64) * s).astype(np.intp)
-        return np.clip(idx, 0, s - 1)
+        x = np.asarray(x, dtype=np.float64)
+        if self._inner is None:
+            idx = np.floor(x * s).astype(np.intp)
+            return np.clip(idx, 0, s - 1)
+        # An x exactly on an interior edge sorts to its right stripe
+        # (side="right"), matching the uniform floor semantics.
+        return np.searchsorted(self._inner, x, side="right").astype(np.intp)
 
     def range_overlapping(
         self, xlo: np.ndarray, xhi: np.ndarray
@@ -61,13 +94,21 @@ class StripePartition:
         s = self.n_shards
         xlo = np.asarray(xlo, dtype=np.float64)
         xhi = np.asarray(xhi, dtype=np.float64)
-        s_lo = np.clip(np.floor(xlo * s).astype(np.intp), 0, s - 1)
-        s_hi = np.clip(np.floor(xhi * s).astype(np.intp), 0, s - 1)
-        # A right edge exactly on boundary t/S already lands in stripe t
-        # via floor; a left edge exactly on t/S must also pull in stripe
-        # t-1, whose closure touches the edge.
-        on_boundary = (xlo * s == np.floor(xlo * s)) & (s_lo > 0)
-        s_lo = s_lo - on_boundary.astype(np.intp)
+        if self._inner is None:
+            s_lo = np.clip(np.floor(xlo * s).astype(np.intp), 0, s - 1)
+            s_hi = np.clip(np.floor(xhi * s).astype(np.intp), 0, s - 1)
+            # A right edge exactly on boundary t/S already lands in stripe t
+            # via floor; a left edge exactly on t/S must also pull in stripe
+            # t-1, whose closure touches the edge.
+            on_boundary = (xlo * s == np.floor(xlo * s)) & (s_lo > 0)
+            s_lo = s_lo - on_boundary.astype(np.intp)
+            return s_lo, s_hi
+        # side="left": a left edge exactly on an interior boundary keeps
+        # the stripe left of it; side="right": a right edge on a boundary
+        # lands in the owning (right) stripe — same closed semantics as
+        # the uniform path.
+        s_lo = np.searchsorted(self._inner, xlo, side="left").astype(np.intp)
+        s_hi = np.searchsorted(self._inner, xhi, side="right").astype(np.intp)
         return s_lo, s_hi
 
 

@@ -164,7 +164,10 @@ class ShardWorkerPool:
 
         The segment is grown (never shrunk) when the population outgrows
         it; a new segment gets a new name, which is how workers learn to
-        re-attach — task payloads always carry the current name.
+        re-attach — task payloads always carry the current name.  Under
+        churn the rows are a stable object *universe* (vacant rows hold
+        the ``(-1, -1)`` sentinel); the pool copies them verbatim and
+        membership is the workers' concern.
         """
         if self._closed:
             raise IndexStateError("pool is shut down")

@@ -54,26 +54,48 @@ from ..core.fast_index import CSRGrid, batch_knn
 from ..obs.remote import ANSWER_SPAN, BUILD_SPAN, WorkerTelemetry
 from .partition import StripePartition, shard_grid_shape
 
-#: Worker-side stripe-grid cache type: ``shard -> (cycle, grid)``.  The
-#: grid persists across cycles (that is the point — it updates itself
+#: Worker-side stripe-grid cache type: ``shard -> (cycle, epoch, grid)``.
+#: The grid persists across cycles (that is the point — it updates itself
 #: incrementally); the cycle tag tells an escalation round of the same
-#: cycle that no maintenance is needed.
-CSRCache = Dict[int, Tuple[int, DeltaCSRGrid]]
+#: cycle that no maintenance is needed, and the epoch tag invalidates the
+#: grid outright when the parent remapped object rows (session
+#: compaction) — row-keyed cell state would silently alias otherwise.
+CSRCache = Dict[int, Tuple[int, int, DeltaCSRGrid]]
+
+
+def _stripe_members(
+    positions: np.ndarray, partition: StripePartition, shard: int, churn: bool
+) -> np.ndarray:
+    """Row ids of the stripe's live objects.
+
+    Under churn the snapshot is a row-stable *universe*: vacant rows
+    carry the sentinel ``(-1, -1)`` and are filtered out before the
+    ownership test (the sentinel x would otherwise clip into stripe 0).
+    """
+    x = positions[:, 0]
+    owned = partition.shard_of(x) == shard
+    if churn:
+        owned &= x >= 0.0
+    return np.flatnonzero(owned)
 
 
 def build_shard_csr(
-    positions: np.ndarray, shard: int, n_shards: int
+    positions: np.ndarray,
+    shard: int,
+    n_shards: int,
+    bounds=None,
+    churn: bool = False,
 ) -> CSRGrid:
     """CSR snapshot of one stripe, carrying global object IDs.
 
     ``positions`` is the *full* ``(n, 2)`` snapshot (typically a view
     over shared memory); membership is recomputed here with the same
-    floor rule the parent's router uses, so boundary objects agree.
+    ownership rule the parent's router uses, so boundary objects agree.
     The CSRGrid copies the selected rows out of the buffer — nothing
     retains a reference into shared memory after this returns.
     """
-    partition = StripePartition(n_shards)
-    sel = np.flatnonzero(partition.shard_of(positions[:, 0]) == shard)
+    partition = StripePartition(n_shards, bounds)
+    sel = _stripe_members(positions, partition, shard, churn)
     nx, ny = shard_grid_shape(len(sel), n_shards)
     return CSRGrid(
         positions[sel],
@@ -93,16 +115,21 @@ def run_shard_task(
     """Execute one cycle task against the given snapshot.
 
     ``task`` fields: ``shard``, ``n_shards``, ``cycle``, ``k``, ``qx``,
-    ``qy`` (routed query coordinates), optional ``obs`` (ship telemetry).
-    Returns the per-query top-k blocks (``inf``/``-1`` padded when the
-    stripe holds fewer than ``k`` objects) plus build/answer stage
-    timings and — when ``obs`` is set — the task's counter deltas and
-    wall time for the parent-side labeled merge.
+    ``qy`` (routed query coordinates); optional ``obs`` (ship telemetry),
+    ``bounds`` (custom stripe edges after a rebalance), ``epoch``
+    (object-row remap generation) and ``churn`` (snapshot is a row
+    universe with ``(-1, -1)`` sentinel rows to skip).  Returns the
+    per-query top-k blocks (``inf``/``-1`` padded when the stripe holds
+    fewer than ``k`` objects) plus build/answer stage timings and — when
+    ``obs`` is set — the task's counter deltas and wall time for the
+    parent-side labeled merge.
     """
     shard = int(task["shard"])
     n_shards = int(task["n_shards"])
     cycle = int(task["cycle"])
     k = int(task["k"])
+    epoch = int(task.get("epoch", 0))
+    churn = bool(task.get("churn"))
     qx = task["qx"]
 
     if telemetry is None:
@@ -113,20 +140,24 @@ def run_shard_task(
 
     with tracer.span(BUILD_SPAN) as build_span:
         entry = cache.get(shard) if cache is not None else None
+        if entry is not None and entry[1] != epoch:
+            entry = None  # object rows were remapped; cached cells lie
         maintained = False
         if entry is not None and entry[0] == cycle:
-            csr = entry[1]  # escalation round: snapshot already current
+            csr = entry[2]  # escalation round: snapshot already current
         else:
             maintained = True
-            partition = StripePartition(n_shards)
-            sel = np.flatnonzero(partition.shard_of(positions[:, 0]) == shard)
+            partition = StripePartition(n_shards, task.get("bounds"))
+            region = partition.region(shard)
+            sel = _stripe_members(positions, partition, shard, churn)
             nx, ny = shard_grid_shape(len(sel), n_shards)
             if (
                 entry is not None
-                and entry[1].nx == nx
-                and entry[1].ny == ny
+                and entry[2].nx == nx
+                and entry[2].ny == ny
+                and entry[2].region == region
             ):
-                csr = entry[1]
+                csr = entry[2]
                 csr.update(positions, member_idx=sel)
                 if obs:
                     stats = csr.last_stats
@@ -139,11 +170,12 @@ def run_shard_task(
                     if stats.compacted:
                         telemetry.inc("delta.compactions")
             else:
-                # First cycle, respawned worker, or the stripe population
-                # shifted enough to change the grid resolution.
+                # First cycle, respawned worker, a rebalanced stripe
+                # boundary, or the stripe population shifted enough to
+                # change the grid resolution.
                 csr = DeltaCSRGrid(
                     positions,
-                    region=partition.region(shard),
+                    region=region,
                     nx=nx,
                     ny=ny,
                     track_dirty=False,
@@ -151,7 +183,7 @@ def run_shard_task(
                 )
                 telemetry.inc("shard.task.fresh_builds")
             if cache is not None:
-                cache[shard] = (cycle, csr)
+                cache[shard] = (cycle, epoch, csr)
 
     with tracer.span(ANSWER_SPAN) as answer_span:
         result = batch_knn(csr, qx, task["qy"], k)

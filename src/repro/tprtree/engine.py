@@ -11,6 +11,10 @@ object that deviates (velocity re-estimated from the last two snapshots).
 * The paper's free motion (velocities change every cycle) → *every*
   object updates *every* cycle, i.e. a full delete+insert pass: the
   degeneration to R-tree behaviour described in §5.4.
+
+Churn: velocity estimates are positional over the dense population, so
+both :class:`~repro.engines.base.BaseEngine` delta hooks keep the rebuild
+fallback — a churned cycle reloads the tree from the packed survivors.
 """
 
 from __future__ import annotations

@@ -77,8 +77,8 @@ class TestRecommend:
         assert "query_indexing" in text
         assert "why" in text
 
-    def test_recommended_methods_exist_in_runner(self):
-        from repro.bench.runner import METHOD_FACTORIES
+    def test_recommended_methods_resolve_in_registry(self):
+        from repro.engines.registry import resolve_preset
 
         profiles = [
             WorkloadProfile(100_000, 100),
@@ -87,7 +87,12 @@ class TestRecommend:
             WorkloadProfile(10_000, 100_000, skewness=0.0, vmax=0.0001),
         ]
         for profile in profiles:
-            assert recommend(profile).method in METHOD_FACTORIES
+            rec = recommend(profile)
+            # Method plus regime must build through the unified factory.
+            method, options = resolve_preset(
+                rec.method, {"maintenance": rec.maintenance}
+            )
+            assert options["maintenance"] == rec.maintenance
 
 
 class TestCalibrate:

@@ -8,10 +8,10 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.results import ExperimentResult, format_table
 from repro.bench.runner import (
     METHOD_FACTORIES,
-    make_system,
     measure_cycles,
     measure_method,
 )
+from repro.engines.registry import build_system
 from repro.errors import ConfigurationError
 from repro.motion import RandomWalkModel, make_dataset, make_queries
 
@@ -80,18 +80,18 @@ class TestFormatTable:
 class TestRunner:
     def test_unknown_method(self):
         with pytest.raises(ConfigurationError):
-            make_system("nope", 5, make_queries(3, seed=1))
+            build_system("nope", 5, make_queries(3, seed=1))
 
     def test_every_factory_builds(self):
         queries = make_queries(3, seed=1)
         for method in METHOD_FACTORIES:
-            system = make_system(method, 2, queries)
+            system = build_system(method, 2, queries)
             assert system.k == 2
 
     def test_measure_cycles(self):
         positions = make_dataset("uniform", 200, seed=2)
         queries = make_queries(3, seed=3)
-        system = make_system("object_overhaul", 2, queries)
+        system = build_system("object_overhaul", 2, queries)
         motion = RandomWalkModel(vmax=0.01, seed=4)
         timing = measure_cycles(system, positions, motion, cycles=2)
         assert timing.cycles == 2
@@ -100,7 +100,7 @@ class TestRunner:
 
     def test_measure_cycles_requires_cycles(self):
         positions = make_dataset("uniform", 50, seed=5)
-        system = make_system("brute_force", 2, make_queries(2, seed=6))
+        system = build_system("brute_force", 2, make_queries(2, seed=6))
         with pytest.raises(ConfigurationError):
             measure_cycles(system, positions, RandomWalkModel(seed=7), cycles=0)
 

@@ -61,6 +61,51 @@ class TestRegistry:
             resolve_config("rtree", FastGridConfig(), None)
 
 
+class TestDictRoundTrip:
+    """Satellite: config blocks round-trip through plain dicts so bench
+    presets, CLI args, and the session layer share one validated path."""
+
+    def test_every_method_round_trips(self):
+        for name, cls in METHOD_CONFIGS.items():
+            config = cls()
+            data = config.to_dict()
+            assert data["method"] == name
+            assert MethodConfig.from_dict(data) == config
+            assert cls.from_dict(data) == config
+
+    def test_round_trip_preserves_overrides(self):
+        config = ShardedConfig(workers=4, shards=8, seed_slack=0.25)
+        clone = MethodConfig.from_dict(config.to_dict())
+        assert clone == config and isinstance(clone, ShardedConfig)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            MethodConfig.from_dict({"method": "fast_grid", "ncell": 64})
+        assert "'ncell'" in str(excinfo.value)
+
+    def test_from_dict_requires_method_on_base(self):
+        with pytest.raises(ConfigurationError):
+            MethodConfig.from_dict({"ncells": 64})
+        with pytest.raises(ConfigurationError):
+            MethodConfig.from_dict({"method": "nope"})
+
+    def test_subclass_rejects_mismatched_method(self):
+        with pytest.raises(ConfigurationError):
+            FastGridConfig.from_dict({"method": "rtree"})
+
+    def test_resolve_config_accepts_mapping(self):
+        config = resolve_config("sharded", {"method": "sharded", "workers": 2})
+        assert isinstance(config, ShardedConfig) and config.workers == 2
+        with pytest.raises(ConfigurationError):
+            resolve_config("sharded", {"method": "rtree"})
+
+    def test_create_accepts_dict_config(self):
+        system = MonitoringSystem.create(
+            "fast_grid", 2, QUERIES, config={"method": "fast_grid", "ncells": 16}
+        )
+        assert system.engine._ncells == 16
+
+
 class TestCreate:
     @pytest.mark.parametrize(
         "method,engine_name,options",
@@ -133,26 +178,27 @@ class TestCreate:
 
 class TestBenchResolution:
     def test_bench_presets_resolve_through_registry(self):
-        from repro.bench.runner import BENCH_PRESETS, METHOD_FACTORIES, make_system
+        from repro.bench.runner import BENCH_PRESETS, METHOD_FACTORIES
+        from repro.engines.registry import build_system
 
         for name, (method, preset) in BENCH_PRESETS.items():
             assert method in METHOD_CONFIGS
             # preset option names must be valid for the method
             METHOD_CONFIGS[method].from_kwargs(**preset)
         assert set(METHOD_FACTORIES) == set(BENCH_PRESETS)
-        system = make_system("object_overhaul", 2, QUERIES)
+        system = build_system("object_overhaul", 2, QUERIES)
         assert system.engine.name == "object-indexing/rebuild/overhaul"
 
-    def test_make_system_accepts_registry_names_and_overrides(self):
-        from repro.bench.runner import make_system
+    def test_build_system_accepts_registry_names_and_overrides(self):
+        from repro.engines.registry import build_system
 
-        system = make_system("sharded", 2, QUERIES, workers=0, shards=2)
+        system = build_system("sharded", 2, QUERIES, workers=0, shards=2)
         with system:
             assert system.engine.name == "sharded/0w2s"
         with pytest.raises(ConfigurationError):
-            make_system("object_overhaul", 2, QUERIES, ncell=64)
+            build_system("object_overhaul", 2, QUERIES, ncell=64)
         with pytest.raises(ConfigurationError):
-            make_system("nope", 2, QUERIES)
+            build_system("nope", 2, QUERIES)
 
     def test_method_factories_mapping_protocol(self):
         from repro.bench.runner import METHOD_FACTORIES

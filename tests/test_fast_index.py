@@ -280,7 +280,7 @@ class TestFastEngineContract:
         assert len(engine.stage_history) == 1
 
     def test_registered_in_bench_runner(self):
-        from repro.bench.runner import make_system
+        from repro.engines.registry import build_system
 
-        system = make_system("fast_grid", 3, np.array([[0.5, 0.5]]))
+        system = build_system("fast_grid", 3, np.array([[0.5, 0.5]]))
         assert system.engine.name == "fast-grid"

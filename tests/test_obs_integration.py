@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bench.runner import CycleTiming, make_system, measure_method
+from repro.bench.runner import CycleTiming, measure_method
+from repro.engines.registry import build_system
 from repro.core.monitor import CycleStats, MonitoringSystem
 from repro.core.object_index import ObjectIndex
 from repro.errors import IndexStateError
@@ -193,7 +194,7 @@ class TestCycleTimingDerivation:
             "fast_grid",
         ):
             registry = MetricsRegistry()
-            system = make_system(method, 3, queries, registry=registry)
+            system = build_system(method, 3, queries, registry=registry)
             assert system.registry is registry
 
 

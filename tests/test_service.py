@@ -1,0 +1,316 @@
+"""Unit tests for the session API surface (repro.service).
+
+The churn *equivalence* guarantees live in test_churn.py; this file pins
+the lifecycle contract itself: handle stability, admission batching and
+cancel semantics, explicit backpressure, error paths, the streaming
+position interface, and the ``service.*`` telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeltaGridConfig
+from repro.errors import ConfigurationError, NotEnoughObjectsError
+from repro.obs.registry import MetricsRegistry
+from repro.service import (
+    AdmissionDeferred,
+    MonitoringSession,
+    QueryHandle,
+    SessionAnswer,
+)
+
+
+def make_session(method="fast_grid", k=2, **kw):
+    return MonitoringSession(method, k=k, **kw)
+
+
+def seed(session, n=10, rng=None):
+    rng = rng or np.random.default_rng(0)
+    for oid in range(n):
+        session.join_object(oid, rng.random(2))
+
+
+class TestLifecycleBasics:
+    def test_register_returns_stable_handles(self):
+        with make_session() as s:
+            seed(s)
+            h1 = s.register_query((0.2, 0.2))
+            h2 = s.register_query((0.8, 0.8))
+            assert isinstance(h1, QueryHandle) and h1 != h2
+            out = s.tick()
+            assert set(out) == {h1, h2}
+            # Drop h1; h2 keeps its handle across the row remap.
+            s.drop_query(h1)
+            out = s.tick()
+            assert set(out) == {h2}
+            assert s.handles() == [h2]
+
+    def test_answers_are_external_ids_sorted_by_distance(self):
+        with make_session(k=3) as s:
+            # External ids deliberately far from dense rows.
+            s.join_object(500, (0.10, 0.5))
+            s.join_object(900, (0.20, 0.5))
+            s.join_object(700, (0.30, 0.5))
+            s.join_object(100, (0.90, 0.5))
+            h = s.register_query((0.0, 0.5))
+            ans = s.tick()[h]
+            assert isinstance(ans, SessionAnswer)
+            assert [oid for oid, _ in ans.neighbors] == [500, 900, 700]
+            dists = [d for _, d in ans.neighbors]
+            assert dists == sorted(dists)
+
+    def test_queries_admitted_at_tick_not_at_call(self):
+        with make_session() as s:
+            seed(s)
+            s.tick()  # no queries yet
+            h = s.register_query((0.5, 0.5))
+            assert s.n_active_queries == 0  # pending until the next tick
+            out = s.tick()
+            assert s.n_active_queries == 1 and h in out
+
+    def test_zero_query_session_ticks(self):
+        with make_session() as s:
+            seed(s)
+            assert s.tick() == {}
+
+    def test_tick_requires_k_objects(self):
+        with make_session(k=4) as s:
+            seed(s, n=3)
+            s.register_query((0.5, 0.5))
+            with pytest.raises(NotEnoughObjectsError):
+                s.tick()
+            # Nothing was admitted: the retry path still works.
+            assert s.pending_deltas == 4
+            s.join_object(99, (0.4, 0.4))
+            assert len(s.tick()) == 1
+
+
+class TestCancelSemantics:
+    def test_drop_of_pending_register_cancels(self):
+        with make_session() as s:
+            seed(s)
+            s.tick()
+            h = s.register_query((0.5, 0.5))
+            s.drop_query(h)
+            assert s.pending_deltas == 0
+            assert h not in s.tick()
+
+    def test_leave_of_pending_join_cancels(self):
+        with make_session() as s:
+            seed(s)
+            s.tick()
+            s.join_object(77, (0.5, 0.5))
+            s.leave_object(77)
+            assert s.pending_deltas == 0
+            s.tick()
+            assert 77 not in s.population()[0]
+
+    def test_join_of_pending_leave_cancels_and_moves(self):
+        with make_session() as s:
+            seed(s)
+            s.tick()
+            s.leave_object(3)
+            s.join_object(3, (0.9, 0.9))  # rejoin before admission
+            assert s.pending_deltas == 0
+            s.tick()
+            ids, pos = s.population()
+            row = int(np.flatnonzero(ids == 3)[0])
+            assert tuple(pos[row]) == (0.9, 0.9)
+
+    def test_duplicate_and_unknown_raise(self):
+        with make_session() as s:
+            seed(s, n=5)
+            s.tick()
+            with pytest.raises(ConfigurationError):
+                s.join_object(0, (0.1, 0.1))  # already live
+            s.join_object(50, (0.1, 0.1))
+            with pytest.raises(ConfigurationError):
+                s.join_object(50, (0.2, 0.2))  # already joining
+            with pytest.raises(ConfigurationError):
+                s.leave_object(999)
+            s.leave_object(1)
+            with pytest.raises(ConfigurationError):
+                s.leave_object(1)  # already leaving
+            with pytest.raises(ConfigurationError):
+                s.drop_query(QueryHandle(12345))
+
+    def test_per_query_k_rejected(self):
+        with make_session(k=2) as s:
+            with pytest.raises(ConfigurationError):
+                s.register_query((0.5, 0.5), k=7)
+            # Matching k is accepted (it is just explicit).
+            assert isinstance(s.register_query((0.5, 0.5), k=2), QueryHandle)
+
+
+class TestBackpressure:
+    def test_overflow_returns_deferred_never_drops(self):
+        reg = MetricsRegistry()
+        with make_session(registry=reg, max_pending_deltas=2) as s:
+            assert s.join_object(0, (0.1, 0.1)) is None
+            assert s.join_object(1, (0.2, 0.2)) is None
+            d = s.join_object(2, (0.3, 0.3))
+            assert isinstance(d, AdmissionDeferred)
+            assert (d.action, d.kind) == ("join_object", "object")
+            assert (d.pending, d.limit) == (2, 2)
+            r = s.register_query((0.5, 0.5))
+            assert isinstance(r, AdmissionDeferred) and r.kind == "query"
+            # Nothing was recorded for the deferred calls.
+            s.tick()
+            assert s.n_live_objects == 2 and s.n_active_queries == 0
+            # The drained set accepts the retries.
+            assert s.join_object(2, (0.3, 0.3)) is None
+            assert isinstance(s.register_query((0.5, 0.5)), QueryHandle)
+            assert reg.counter(
+                "service.admission_deferred", {"kind": "object"}
+            ) == 1.0
+            assert reg.counter(
+                "service.admission_deferred", {"kind": "query"}
+            ) == 1.0
+
+    def test_cancel_frees_admission_slot(self):
+        with make_session(max_pending_deltas=1) as s:
+            s.join_object(0, (0.1, 0.1))
+            assert isinstance(s.join_object(1, (0.2, 0.2)), AdmissionDeferred)
+            s.leave_object(0)  # cancels the pending join
+            assert s.join_object(1, (0.2, 0.2)) is None
+
+    def test_moves_are_never_capped(self):
+        with make_session(max_pending_deltas=2, k=2) as s:
+            seed(s, n=2)
+            s.tick()
+            s.join_object(100, (0.5, 0.5))  # occupies an admission slot
+            for _ in range(10):
+                s.move_object(0, np.random.default_rng(1).random(2))
+            ids, pos = s.population()
+            s.update_positions(pos)  # bulk path equally uncapped
+            assert s.pending_deltas == 1
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_session(max_pending_deltas=0)
+
+
+class TestPositions:
+    def test_move_pending_join_updates_admission_point(self):
+        with make_session() as s:
+            seed(s)
+            s.join_object(42, (0.1, 0.1))
+            s.move_object(42, (0.6, 0.6))
+            s.tick()
+            ids, pos = s.population()
+            row = int(np.flatnonzero(ids == 42)[0])
+            assert tuple(pos[row]) == (0.6, 0.6)
+
+    def test_update_positions_by_ids(self):
+        with make_session() as s:
+            seed(s, n=4)
+            s.tick()
+            s.update_positions([(0.5, 0.5), (0.6, 0.6)], object_ids=[2, 0])
+            ids, pos = s.population()
+            assert tuple(pos[ids == 2][0]) == (0.5, 0.5)
+            assert tuple(pos[ids == 0][0]) == (0.6, 0.6)
+
+    def test_update_positions_validates(self):
+        with make_session() as s:
+            seed(s, n=4)
+            s.tick()
+            with pytest.raises(ConfigurationError):
+                s.update_positions(np.zeros((3, 2)))  # wrong count
+            with pytest.raises(ConfigurationError):
+                s.update_positions(np.zeros((1, 3)))  # wrong shape
+            with pytest.raises(ConfigurationError):
+                s.update_positions([(0.5, 0.5)], object_ids=[999])
+
+
+class TestConstruction:
+    def test_typed_config_supplies_method(self):
+        cfg = DeltaGridConfig(patch_threshold=0.5)
+        with MonitoringSession(k=2, config=cfg) as s:
+            assert s.engine.__class__.__name__ == "DeltaGridEngine"
+            assert s.k == 2
+
+    def test_dict_config_supplies_method(self):
+        with MonitoringSession(
+            k=2, config={"method": "fast_grid", "ncells": 16}
+        ) as s:
+            seed(s, n=5)
+            h = s.register_query((0.5, 0.5))
+            assert len(s.tick()[h].neighbors) == 2
+
+    def test_method_required_somewhere(self):
+        with pytest.raises(ConfigurationError):
+            MonitoringSession(k=2)
+
+    def test_preset_names_accepted(self):
+        with MonitoringSession("object_incremental", k=2) as s:
+            assert s.engine.__class__.__name__ == "ObjectIndexingEngine"
+
+
+class TestTelemetry:
+    def test_service_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        with make_session(registry=reg) as s:
+            seed(s, n=6)
+            h = s.register_query((0.5, 0.5))
+            s.tick()
+            s.tick()  # churn-free cycle
+            s.drop_query(h)
+            s.leave_object(0)
+            s.tick()
+            c = reg.counter_values()
+            assert c["service.cycles"] == 3.0
+            assert c["service.churn_cycles"] == 2.0
+            assert c["service.objects_joined"] == 6.0
+            assert c["service.objects_left"] == 1.0
+            assert c["service.queries_registered"] == 1.0
+            assert c["service.queries_dropped"] == 1.0
+            g = reg.gauge_values()
+            assert g["service.live_objects"] == 5.0
+            assert g["service.active_queries"] == 0.0
+            assert g["service.pending_deltas"] == 0.0
+
+    def test_incremental_engines_avoid_churn_rebuilds(self):
+        """The point of the delta hooks: member-mode engines absorb churn
+        without a pipeline-level rebuild cycle."""
+        reg = MetricsRegistry()
+        with make_session("delta_grid", registry=reg) as s:
+            seed(s, n=20)
+            s.register_query((0.5, 0.5))
+            s.tick()
+            s.join_object(100, (0.3, 0.3))
+            s.leave_object(0)
+            s.tick()
+            assert reg.counter("cycle.churn_rebuilds") == 0.0
+
+    def test_fallback_engines_count_churn_rebuilds(self):
+        reg = MetricsRegistry()
+        with make_session("object_indexing", registry=reg) as s:
+            seed(s, n=20)
+            s.register_query((0.5, 0.5))
+            s.tick()
+            s.join_object(100, (0.3, 0.3))
+            s.tick()
+            assert reg.counter("cycle.churn_rebuilds") == 1.0
+
+
+class TestResourceManagement:
+    def test_close_is_idempotent(self):
+        s = make_session()
+        s.close()
+        s.close()
+
+    def test_context_manager_closes_worker_pool(self):
+        with MonitoringSession("sharded", k=2, shards=2, workers=2) as s:
+            seed(s, n=8)
+            h = s.register_query((0.5, 0.5))
+            assert len(s.tick()[h].neighbors) == 2
+            pids = s.engine.worker_pids()
+        import os, errno
+
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+                alive = True
+            except OSError as exc:
+                alive = exc.errno == errno.EPERM  # exists, other owner
+            assert not alive, f"worker {pid} survived close()"

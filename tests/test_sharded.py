@@ -275,6 +275,26 @@ class TestContracts:
         assert registry.counter("shard.tasks") >= 2
         assert registry.counter("shard.respawns") == 0.0
 
+    def test_stripe_query_gauges_refresh_on_set_queries(self):
+        # Regression: the per-stripe query gauges used to go stale when
+        # set_queries swapped the query population — they reported the
+        # previous population's routing until the next answer() ran.
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(21)
+        left = np.column_stack([rng.uniform(0.0, 0.45, 6), rng.random(6)])
+        right = np.column_stack([rng.uniform(0.55, 1.0, 6), rng.random(6)])
+        engine = ShardedGridEngine(2, left, workers=0, shards=2)
+        engine.metrics = registry
+        try:
+            engine.set_queries(left)
+            assert registry.gauge("shard.stripe.queries", {"shard": 0}) == 6.0
+            assert registry.gauge("shard.stripe.queries", {"shard": 1}) == 0.0
+            engine.set_queries(right)  # no cycle in between
+            assert registry.gauge("shard.stripe.queries", {"shard": 0}) == 0.0
+            assert registry.gauge("shard.stripe.queries", {"shard": 1}) == 6.0
+        finally:
+            engine.close()
+
 
 class TestFaultTolerance:
     N, NQ, K = 3000, 30, 5
