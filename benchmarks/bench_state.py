@@ -1,0 +1,171 @@
+"""Price the world-state plane: ingest + publish cost and copy counts.
+
+Two arms:
+
+* **Store micro-benchmark** — full-motion steady state straight against a
+  :class:`~repro.state.WorldStore`: every cycle writes every row
+  (``write_rows``) and flips an epoch (``publish``).  Reports the
+  per-cycle ingest and publish cost and, for scale, what one full
+  position-array copy of the same population costs — the price the
+  double-buffer flip avoids paying.
+
+* **End-to-end steady state** — a :class:`~repro.service.MonitoringSession`
+  under full motion with a live registry.  The ``state.*`` counters must
+  show the zero-copy pipeline: ``state.copies_per_cycle == 0`` and no
+  carry-forward syncs once motion covers the population.  This is the
+  same property the CI state-smoke job gates.
+
+Not collected by pytest (no ``test_`` prefix) — run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_state.py --np 10000 --cycles 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from time import perf_counter
+from typing import Dict, List
+
+import numpy as np
+
+from repro.motion import make_dataset, make_queries
+from repro.obs import MetricsRegistry
+from repro.service import MonitoringSession
+from repro.state import WorldStore
+
+
+def bench_store(n_objects: int, cycles: int, seed: int) -> Dict:
+    """Full-motion ingest + publish against a bare store."""
+    rng = np.random.default_rng(seed)
+    positions = make_dataset("uniform", n_objects, seed=seed)
+    registry = MetricsRegistry()
+    store = WorldStore(positions, registry=registry)
+    store.publish()
+    rows = np.arange(n_objects, dtype=np.intp)
+    steps = [
+        np.clip(positions + rng.uniform(-0.005, 0.005, positions.shape), 0, 1)
+        for _ in range(cycles)
+    ]
+
+    ingest = publish = 0.0
+    for step in steps:
+        start = perf_counter()
+        store.write_rows(rows, step)
+        ingest += perf_counter() - start
+        start = perf_counter()
+        store.publish()
+        publish += perf_counter() - start
+
+    # The cost a naive single-buffer design would pay per flip.
+    start = perf_counter()
+    for _ in range(10):
+        positions.copy()
+    copy_cost = (perf_counter() - start) / 10
+
+    return {
+        "ingest_us_per_cycle": ingest / cycles * 1e6,
+        "publish_us_per_cycle": publish / cycles * 1e6,
+        "full_copy_us": copy_cost * 1e6,
+        "synced_rows": registry.counter("state.synced_rows"),
+        "publishes": registry.counter("state.publishes"),
+        "full_copies": store.full_copies,
+        "structural_copies": store.structural_copies,
+    }
+
+
+def bench_session(
+    method: str, n_objects: int, n_queries: int, k: int, cycles: int, seed: int
+) -> Dict:
+    """Steady-state session cycles; the registry audits the copy counts."""
+    rng = np.random.default_rng(seed)
+    positions = make_dataset("uniform", n_objects, seed=seed)
+    queries = make_queries(n_queries, seed=seed + 1)
+    registry = MetricsRegistry()
+    gauges: List[float] = []
+    with MonitoringSession(method, k=k, registry=registry) as session:
+        for oid, xy in enumerate(positions):
+            session.join_object(oid, xy)
+        for xy in queries:
+            session.register_query(xy)
+        session.tick()
+        synced_base = registry.counter("state.synced_rows")
+        start = perf_counter()
+        for _ in range(cycles):
+            _, pos = session.population()
+            step = np.clip(
+                pos + rng.uniform(-0.005, 0.005, pos.shape), 0.0, 1.0
+            )
+            session.update_positions(step)
+            session.tick()
+            gauges.append(registry.gauge("state.copies_per_cycle"))
+        elapsed = perf_counter() - start
+        return {
+            "method": method,
+            "cycle_ms": elapsed / cycles * 1e3,
+            "copies_per_cycle_max": max(gauges),
+            "full_copies": session.store.full_copies,
+            "structural_copies": session.store.structural_copies,
+            "synced_rows_steady": registry.counter("state.synced_rows")
+            - synced_base,
+            "publishes": registry.counter("state.publishes"),
+            "epoch": session.store.epoch,
+        }
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--np", type=int, default=10000, dest="n_objects")
+    parser.add_argument("--nq", type=int, default=32, dest="n_queries")
+    parser.add_argument("-k", type=int, default=6)
+    parser.add_argument("--cycles", type=int, default=50)
+    parser.add_argument("--method", default="fast_grid")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", default="BENCH_state.json")
+    args = parser.parse_args(argv)
+
+    store = bench_store(args.n_objects, args.cycles, args.seed)
+    session = bench_session(
+        args.method, args.n_objects, args.n_queries, args.k, args.cycles,
+        args.seed,
+    )
+
+    result = {
+        "np": args.n_objects,
+        "nq": args.n_queries,
+        "k": args.k,
+        "cycles": args.cycles,
+        "python": platform.python_version(),
+        "store": store,
+        "session": session,
+    }
+    print(
+        f"store: ingest {store['ingest_us_per_cycle']:.1f}us + publish "
+        f"{store['publish_us_per_cycle']:.1f}us per cycle "
+        f"(one full copy would cost {store['full_copy_us']:.1f}us)"
+    )
+    print(
+        f"session[{session['method']}]: {session['cycle_ms']:.2f}ms/cycle, "
+        f"copies_per_cycle max {session['copies_per_cycle_max']:.0f}, "
+        f"full_copies {session['full_copies']}, "
+        f"steady-state synced rows {session['synced_rows_steady']:.0f}"
+    )
+    ok = (
+        session["copies_per_cycle_max"] == 0.0
+        and session["full_copies"] == 0
+        and store["full_copies"] == 0
+    )
+    result["ok"] = ok
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"summary written to {args.json}")
+    if not ok:
+        print("FAIL: steady-state cycle performed a full position-array copy")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

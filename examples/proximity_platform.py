@@ -10,7 +10,7 @@ One population of moving users serves four concurrent products:
 * **geofences** (range): users inside each monitored zone.
 
 Asynchronous position reports flow through a snapshot buffer
-(:class:`repro.MonitoringService`), and a :class:`repro.DeltaTracker`
+(:class:`repro.PositionBuffer`), and a :class:`repro.DeltaTracker`
 turns raw answers into notification events.
 
 Run with::
@@ -26,8 +26,8 @@ from repro import (
     CircleRegion,
     DeltaTracker,
     GNNMonitor,
-    MonitoringService,
     MonitoringSystem,
+    PositionBuffer,
     RKNNMonitor,
     RangeMonitor,
     RectRegion,
@@ -52,17 +52,18 @@ def main() -> None:
         CircleRegion(0.25, 0.75, 0.08),  # stadium
     ]
 
-    radar = MonitoringService(
-        MonitoringSystem.object_indexing(
-            5, tracked, maintenance="incremental", answering="incremental"
-        ),
-        users,
+    # The report buffer and the monitoring system compose directly:
+    # system.tick(buffer.publish()) is one full cycle, zero-copy from
+    # the buffer's world store into the engine.
+    reports = PositionBuffer(users)
+    radar = MonitoringSystem.object_indexing(
+        5, tracked, maintenance="incremental", answering="incremental"
     )
     audience = RKNNMonitor(10, venues)
     meetup = GNNMonitor(3, friend_groups, aggregate="sum")
     geofence = RangeMonitor(zones)
     events = DeltaTracker()
-    events.update(radar.initial_answers)
+    events.update(radar.load(reports.publish()))
 
     current = users.copy()
     for cycle in range(1, CYCLES + 1):
@@ -70,11 +71,11 @@ def main() -> None:
         movers = rng.choice(N_USERS, size=N_USERS // 3, replace=False)
         jitter = rng.uniform(-0.01, 0.01, size=(len(movers), 2))
         new_positions = np.clip(current[movers] + jitter, 0.0, 1.0 - 1e-9)
-        radar.report_batch(movers.tolist(), new_positions)
+        reports.report_batch(movers.tolist(), new_positions)
         current[movers] = new_positions
 
         # One synchronized cycle across all products.
-        radar_answers = radar.run_cycle()
+        radar_answers = radar.tick(reports.publish())
         deltas = events.update(radar_answers)
         audiences = audience.tick(current)
         meetups = meetup.tick(current)

@@ -96,7 +96,9 @@ from .obs import (
     write_history_jsonl,
 )
 from .rtree import RTree
+from .service import MonitoringSession
 from .shard import ShardedGridEngine
+from .state import WorldSnapshot, WorldStore
 from .tprtree import TPREngine, TPRTree
 from .viz import density_plot, side_by_side
 
@@ -127,6 +129,7 @@ __all__ = [
     "MethodConfig",
     "MetricsRegistry",
     "MonitoringService",
+    "MonitoringSession",
     "MonitoringSystem",
     "NULL_REGISTRY",
     "NotEnoughObjectsError",
@@ -149,6 +152,8 @@ __all__ = [
     "TPRTree",
     "Tracer",
     "WorkloadProfile",
+    "WorldSnapshot",
+    "WorldStore",
     "RandomWalkModel",
     "ReproError",
     "RoadNetwork",

@@ -7,18 +7,31 @@ query answering) runs against that snapshot only.  Answers are therefore
 exact for the snapshot instant — updating the index mid-cycle as reports
 arrive would break that guarantee (§3, first paragraph).
 
-:class:`PositionBuffer` is that buffer, and :class:`MonitoringService`
-wires a buffer to a :class:`~repro.core.monitor.MonitoringSystem` for a
-streaming-update API.
+:class:`PositionBuffer` is that buffer.  Since the world-state plane
+landed it is a thin ingest adapter over a
+:class:`~repro.state.WorldStore`: reports coalesce in a dict, fold into
+the store's staging epoch in one vectorized write at snapshot time, and
+the snapshot itself is the store's published read-only view — zero
+copies anywhere on the path.  **Snapshots are immutable now**: writing
+through the returned array raises ``ValueError`` where it used to
+silently modify a private copy.
+
+:class:`MonitoringService` is deprecated; prefer
+:class:`repro.service.MonitoringSession` (query/object churn, stable
+handles, backpressure) or drive a :class:`PositionBuffer` +
+:class:`~repro.core.monitor.MonitoringSystem` pair directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError, OutOfRegionError
+from ..obs.registry import MetricsRegistry
+from ..state import WorldSnapshot, WorldStore
 from .answers import QueryAnswer
 from .monitor import MonitoringSystem
 
@@ -31,18 +44,26 @@ class PositionBuffer:
     taken.  Positions must lie in the unit square.
     """
 
-    def __init__(self, initial_positions: np.ndarray) -> None:
+    def __init__(
+        self,
+        initial_positions: np.ndarray,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         positions = np.asarray(initial_positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 2:
             raise ConfigurationError("initial_positions must be an (n, 2) array")
         self._validate_region(positions)
-        self._current = positions.copy()
+        self.store = WorldStore(positions, registry=registry)
+        self._n = len(positions)
         self._dirty: Dict[int, Tuple[float, float]] = {}
         self.reports_received = 0
         #: Reports that overwrote a still-pending report for the same
         #: object (the buffer "hit" its coalescing purpose).
         self.coalesced_reports = 0
         self.snapshots_taken = 0
+        self._reports_seen = 0
+        self._coalesced_seen = 0
 
     @staticmethod
     def _validate_region(positions: np.ndarray) -> None:
@@ -60,7 +81,7 @@ class PositionBuffer:
 
     @property
     def n_objects(self) -> int:
-        return len(self._current)
+        return self._n
 
     @property
     def pending_reports(self) -> int:
@@ -69,10 +90,9 @@ class PositionBuffer:
 
     def report(self, object_id: int, x: float, y: float) -> None:
         """One asynchronous position report from an object."""
-        if not 0 <= object_id < len(self._current):
+        if not 0 <= object_id < self._n:
             raise ConfigurationError(
-                f"object id {object_id} outside population "
-                f"[0, {len(self._current)})"
+                f"object id {object_id} outside population [0, {self._n})"
             )
         if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
             raise OutOfRegionError(x, y)
@@ -89,35 +109,77 @@ class PositionBuffer:
         for object_id, (x, y) in zip(object_ids, positions):
             self.report(int(object_id), float(x), float(y))
 
-    def snapshot(self) -> np.ndarray:
-        """Fold pending reports in and return a consistent snapshot copy."""
-        if self._dirty:
-            for object_id, (x, y) in self._dirty.items():
-                self._current[object_id, 0] = x
-                self._current[object_id, 1] = y
-            self._dirty.clear()
+    def _fold(self) -> None:
+        """Apply the coalesced reports in one vectorized store write."""
+        if not self._dirty:
+            return
+        rows = np.fromiter(self._dirty.keys(), dtype=np.intp, count=len(self._dirty))
+        points = np.array(list(self._dirty.values()), dtype=np.float64)
+        self.store.write_rows(rows, points)
+        self._dirty.clear()
+
+    def publish(self) -> WorldSnapshot:
+        """Fold pending reports and publish a consistent store epoch.
+
+        An unchanged world republishes the same epoch — the snapshot
+        object (and its memory) is shared, never re-copied.  Emits the
+        per-snapshot ``buffer.*`` counters when the store has a live
+        metrics registry.
+        """
+        registry = self.store.registry
+        if registry.enabled:
+            registry.inc(
+                "buffer.reports", self.reports_received - self._reports_seen
+            )
+            registry.inc(
+                "buffer.coalesced_hits",
+                self.coalesced_reports - self._coalesced_seen,
+            )
+            registry.inc("buffer.objects_folded", len(self._dirty))
+            self._reports_seen = self.reports_received
+            self._coalesced_seen = self.coalesced_reports
+        self._fold()
         self.snapshots_taken += 1
-        return self._current.copy()
+        return self.store.packed(self.store.publish())
+
+    def snapshot(self) -> np.ndarray:
+        """Fold pending reports in and return a consistent snapshot.
+
+        The array is a **read-only view** of the published store epoch —
+        shared zero-copy with every other consumer of the same epoch.
+        Callers that used to scribble on the returned copy must copy
+        explicitly now (``buffer.snapshot().copy()``).
+        """
+        return self.publish().positions
 
 
 class MonitoringService:
-    """Streaming facade: asynchronous reports in, periodic answers out.
+    """Deprecated streaming facade: buffer + system behind one object.
 
-    Combines a :class:`PositionBuffer` with any configured
-    :class:`MonitoringSystem`.  Call :meth:`report` as position updates
-    arrive and :meth:`run_cycle` every ``tau`` to obtain exact answers for
-    the snapshot taken at that moment.
+    .. deprecated::
+        Use :class:`repro.service.MonitoringSession` (stable handles,
+        churn admission, backpressure) or compose a
+        :class:`PositionBuffer` with a
+        :class:`~repro.core.monitor.MonitoringSystem` directly —
+        ``system.tick(buffer.publish())`` is the whole loop.
     """
 
     def __init__(
         self, system: MonitoringSystem, initial_positions: np.ndarray
     ) -> None:
-        self.buffer = PositionBuffer(initial_positions)
+        warnings.warn(
+            "MonitoringService is deprecated; use repro.service."
+            "MonitoringSession, or drive a PositionBuffer + "
+            "MonitoringSystem pair directly (system.tick(buffer.publish()))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.buffer = PositionBuffer(
+            initial_positions, registry=system.registry
+        )
         self.system = system
         #: Exact answers for the initial snapshot (timestamp 0).
-        self.initial_answers: List[QueryAnswer] = system.load(self.buffer.snapshot())
-        self._reports_seen = self.buffer.reports_received
-        self._coalesced_seen = self.buffer.coalesced_reports
+        self.initial_answers: List[QueryAnswer] = system.load(self.buffer.publish())
 
     def report(self, object_id: int, x: float, y: float) -> None:
         """Accept one asynchronous position report."""
@@ -128,20 +190,7 @@ class MonitoringService:
 
     def run_cycle(self) -> List[QueryAnswer]:
         """Take a snapshot and run one monitoring cycle against it."""
-        registry = self.system.registry
-        if registry.enabled:
-            buffer = self.buffer
-            registry.inc(
-                "buffer.reports", buffer.reports_received - self._reports_seen
-            )
-            registry.inc(
-                "buffer.coalesced_hits",
-                buffer.coalesced_reports - self._coalesced_seen,
-            )
-            registry.inc("buffer.objects_folded", buffer.pending_reports)
-            self._reports_seen = buffer.reports_received
-            self._coalesced_seen = buffer.coalesced_reports
-        return self.system.tick(self.buffer.snapshot())
+        return self.system.tick(self.buffer.publish())
 
     @property
     def timestamp(self) -> float:

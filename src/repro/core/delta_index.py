@@ -68,6 +68,7 @@ import numpy as np
 
 from ..engines.base import BaseEngine
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from ..state import as_world_snapshot
 from ..grid.grid2d import resolve_grid_size
 from ..obs.registry import NULL_REGISTRY, MetricsRegistry
 from ..obs.tracing import Tracer
@@ -239,17 +240,33 @@ class DeltaCSRGrid:
         self,
         positions: np.ndarray,
         member_idx: Optional[np.ndarray] = None,
+        *,
+        pinned: bool = False,
     ) -> DeltaUpdateStats:
         """Bring the snapshot up to date with a new position array.
 
         Chooses the patch or the rebuild regime from the measured mover
         fraction; returns (and stores in :attr:`last_stats`) what it did.
+
+        ``pinned=True`` declares the array content-stable for at least
+        one cycle (an epoch-versioned store snapshot: published buffers
+        are never mutated).  Unpinned arrays that share memory with the
+        previous cycle's are treated as *aliased* — the caller may have
+        mutated them in place, so the stored coordinate views can't
+        witness what changed and answer reuse is disabled for the cycle.
+        The identity check alone is not enough: a fresh view over the
+        same mutated buffer is a different object with the same bytes.
         """
         positions = np.asarray(positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 2:
             raise ConfigurationError("positions must be an (N, 2) array")
         n = len(positions)
-        aliased = positions is self._positions_ref
+        ref = self._positions_ref
+        aliased = (
+            not pinned
+            and ref is not None
+            and (positions is ref or np.may_share_memory(positions, ref))
+        )
         fresh = n != self._n_universe
         if fresh:
             self._allocate(n)
@@ -942,7 +959,8 @@ class DeltaGridEngine(BaseEngine):
 
     def maintain(self, positions: np.ndarray) -> None:
         with self._stage_tracer.span("delta_update") as span:
-            positions = np.asarray(positions, dtype=np.float64)
+            world = as_world_snapshot(positions)
+            positions = np.asarray(world, dtype=np.float64)
             member = self._member_idx
             n_live = len(positions) if member is None else len(member)
             # Sizing from the *live* population keeps the geometry
@@ -963,7 +981,7 @@ class DeltaGridEngine(BaseEngine):
                 # rectangles are meaningless in the new cell coordinates.
                 self._drop_reuse_state()
             else:
-                grid.update(positions, member)
+                grid.update(positions, member, pinned=world.versioned)
             self._positions = positions
         self._snapshot_time = span.duration
         metrics = self.metrics

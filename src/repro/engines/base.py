@@ -36,6 +36,18 @@ from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..obs.tracing import NULL_TRACER, Tracer, span_seconds
 from ..core.answers import AnswerList
 
+# The churn delta records and the snapshot protocol live in the state
+# plane now (they are produced by the WorldStore); re-exported here
+# because engine code and external callers historically import them
+# from this module.
+from ..state import (  # noqa: F401  (re-exports)
+    ObjectDelta,
+    PositionsLike,
+    QueryDelta,
+    WorldSnapshot,
+    as_world_snapshot,
+)
+
 _MAINTENANCE_MODES = ("rebuild", "incremental")
 _ANSWERING_MODES = ("overhaul", "incremental")
 
@@ -45,42 +57,6 @@ def _as_queries(queries: np.ndarray) -> np.ndarray:
     if queries.ndim != 2 or queries.shape[1] != 2:
         raise ConfigurationError("queries must be an (NQ, 2) array")
     return queries
-
-
-@dataclass(frozen=True)
-class QueryDelta:
-    """One cycle's batched query-set change, applied between cycles.
-
-    ``queries`` is the complete post-churn ``(nq', 2)`` array; ``kept``
-    maps each new row to the engine row it occupied before the delta
-    (``-1`` for newly registered queries).  Kept rows carry *unchanged*
-    positions — the session layer registers and drops queries but never
-    moves them through a delta, so per-query state (previous answers,
-    critical rectangles, routing seeds) stays valid under the remap.
-    """
-
-    queries: np.ndarray
-    kept: np.ndarray
-
-
-@dataclass(frozen=True)
-class ObjectDelta:
-    """One cycle's batched object-population change.
-
-    ``joined``/``left`` hold the affected row ids of the caller's
-    position array (opaque to engines that rebuild); ``member_idx`` is
-    the full sorted set of live rows when the caller runs engines in
-    *member mode* (positions stay a stable row universe and membership
-    is a subset), or ``None`` when the caller compacts positions to the
-    live population itself.  ``compacted`` marks a row-remapping event:
-    every cross-cycle structure keyed by row id is invalid.
-    """
-
-    joined: np.ndarray
-    left: np.ndarray
-    member_idx: Optional[np.ndarray]
-    n_universe: int
-    compacted: bool = False
 
 
 class BaseEngine(abc.ABC):
@@ -176,11 +152,17 @@ class BaseEngine(abc.ABC):
             self.request_rebuild()
 
     @abc.abstractmethod
-    def load(self, positions: np.ndarray) -> None:
-        """Initial build from the first snapshot."""
+    def load(self, positions: PositionsLike) -> None:
+        """Initial build from the first snapshot.
+
+        ``positions`` is a :class:`~repro.state.WorldSnapshot` when the
+        cycle runs through :class:`CyclePipeline` (a raw array handed to
+        the pipeline is shim-wrapped first); ``np.asarray(positions,
+        dtype=np.float64)`` recovers the read-only view either way.
+        """
 
     @abc.abstractmethod
-    def maintain(self, positions: np.ndarray) -> None:
+    def maintain(self, positions: PositionsLike) -> None:
         """Per-cycle index maintenance against a new snapshot."""
 
     @abc.abstractmethod
@@ -300,9 +282,14 @@ class CyclePipeline:
         self.engine.bind_observability(self.registry, self.tracer)
 
     def run_cycle(
-        self, positions: np.ndarray, timestamp: float, initial: bool = False
+        self, positions: PositionsLike, timestamp: float, initial: bool = False
     ) -> List[AnswerList]:
         """Run one full cycle; returns the raw per-query answer lists.
+
+        ``positions`` may be a published
+        :class:`~repro.state.WorldSnapshot` (the zero-copy path) or any
+        ``(N, 2)`` array-like, which is wrapped into an anonymous
+        snapshot here — engines always see the snapshot type.
 
         ``initial=True`` runs the engine's :meth:`~BaseEngine.load` stage
         (under the ``load`` span) and resets :attr:`history`; otherwise
@@ -311,6 +298,7 @@ class CyclePipeline:
         the churn-delta fallback) also routes through :meth:`load` — but
         mid-stream, so :attr:`history` keeps accumulating.
         """
+        world = as_world_snapshot(positions)
         registry = self.registry
         reload = self.engine.take_rebuild_request() or initial
         before = registry.counter_values() if registry.enabled else None
@@ -319,9 +307,9 @@ class CyclePipeline:
         start = time.perf_counter()
         with self.tracer.span("load" if reload else "maintain"):
             if reload:
-                self.engine.load(positions)
+                self.engine.load(world)
             else:
-                self.engine.maintain(positions)
+                self.engine.maintain(world)
         index_time = time.perf_counter() - start
         start = time.perf_counter()
         with self.tracer.span("answer"):

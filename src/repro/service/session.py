@@ -51,13 +51,10 @@ import numpy as np
 
 from ..core.config import MethodConfig
 from ..core.monitor import MonitoringSystem
-from ..engines.base import ObjectDelta, QueryDelta
 from ..engines.registry import build_system
 from ..errors import ConfigurationError, NotEnoughObjectsError
 from ..obs.registry import MetricsRegistry
-
-#: Universe capacity floor; also the compaction floor (never shrink below).
-_MIN_CAP = 64
+from ..state import QueryDelta, WorldStore
 
 
 @dataclass(frozen=True)
@@ -171,23 +168,18 @@ class MonitoringSession:
         self._member_mode = bool(self.system.engine.supports_member_idx)
         self._started = False
 
-        # Query side: handles in engine-row order.
+        # Query side: handles in engine-row order (points live in the store).
         self._handles: List[QueryHandle] = []
-        self._query_points = np.empty((0, 2), dtype=np.float64)
         self._next_handle = 0
         self._pending_register: Dict[int, Tuple[float, float]] = {}
         self._pending_drop: Dict[int, None] = {}
 
-        # Object side: row-stable universe with a free list.
-        self._cap = _MIN_CAP
-        self._universe = np.full((self._cap, 2), -1.0, dtype=np.float64)
-        self._ext_of_row = np.full(self._cap, -1, dtype=np.int64)
-        self._row_of_ext: Dict[int, int] = {}
-        self._free: List[int] = []
-        self._top = 0  # rows ever used; rows >= _top are untouched
+        # Object side: the store owns the row-stable universe, the free
+        # list and the external-id remap; the session only batches the
+        # admission sets between ticks.
+        self._store = WorldStore(registry=self.system.registry)
         self._pending_join: Dict[int, Tuple[float, float]] = {}
         self._pending_leave: Dict[int, None] = {}
-        self._live_rows = np.empty(0, dtype=np.intp)  # dense-mode row map
 
     # ------------------------------------------------------------------
     # Introspection
@@ -205,9 +197,14 @@ class MonitoringSession:
         return self.system.engine
 
     @property
+    def store(self) -> WorldStore:
+        """The world-state store backing this session (read-mostly)."""
+        return self._store
+
+    @property
     def n_live_objects(self) -> int:
         """Objects admitted and not yet left (pending deltas excluded)."""
-        return len(self._row_of_ext)
+        return self._store.n_live
 
     @property
     def n_active_queries(self) -> int:
@@ -230,7 +227,7 @@ class MonitoringSession:
 
     def query_points(self) -> np.ndarray:
         """Active query positions, row-aligned with :meth:`handles`."""
-        return self._query_points.copy()
+        return self._store.queries.copy()
 
     def population(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(object_ids, positions)`` of the live population.
@@ -239,8 +236,8 @@ class MonitoringSession:
         built from the survivors would see, which is what the churn
         equivalence suite compares against.
         """
-        rows = np.flatnonzero(self._ext_of_row[: self._top] >= 0)
-        return self._ext_of_row[rows].copy(), self._universe[rows].copy()
+        rows = self._store.live_rows()
+        return self._store.ext_ids(rows).copy(), self._store.read_rows(rows)
 
     # ------------------------------------------------------------------
     # Lifecycle calls (batched into the next cycle's admission set)
@@ -307,9 +304,11 @@ class MonitoringSession:
         xy = _as_point(point, "object point")
         if oid in self._pending_leave:
             del self._pending_leave[oid]
-            self._universe[self._row_of_ext[oid]] = xy
+            row = self._store.row_of(oid)
+            assert row is not None
+            self._store.write_row(row, *xy)
             return None
-        if oid in self._pending_join or oid in self._row_of_ext:
+        if oid in self._pending_join or self._store.contains(oid):
             raise ConfigurationError(f"object {oid} is already present")
         deferred = self._admission_full("join_object", "object")
         if deferred is not None:
@@ -326,7 +325,7 @@ class MonitoringSession:
             return None
         if oid in self._pending_leave:
             raise ConfigurationError(f"object {oid} is already leaving")
-        if oid not in self._row_of_ext:
+        if not self._store.contains(oid):
             raise ConfigurationError(f"unknown object {oid}")
         deferred = self._admission_full("leave_object", "object")
         if deferred is not None:
@@ -344,10 +343,10 @@ class MonitoringSession:
         if oid in self._pending_join:
             self._pending_join[oid] = xy
             return
-        row = self._row_of_ext.get(oid)
+        row = self._store.row_of(oid)
         if row is None:
             raise ConfigurationError(f"unknown object {oid}")
-        self._universe[row] = xy
+        self._store.write_row(row, *xy)
 
     def update_positions(
         self, points: np.ndarray, object_ids: Optional[np.ndarray] = None
@@ -362,7 +361,7 @@ class MonitoringSession:
         if points.ndim != 2 or points.shape[1] != 2:
             raise ConfigurationError("points must be an (N, 2) array")
         if object_ids is None:
-            rows = np.flatnonzero(self._ext_of_row[: self._top] >= 0)
+            rows = self._store.live_rows()
             if len(points) != len(rows):
                 raise ConfigurationError(
                     f"expected positions for all {len(rows)} live objects, "
@@ -370,16 +369,12 @@ class MonitoringSession:
                 )
         else:
             try:
-                rows = np.fromiter(
-                    (self._row_of_ext[int(i)] for i in object_ids),
-                    dtype=np.intp,
-                    count=len(object_ids),
-                )
+                rows = self._store.rows_of(object_ids)
             except KeyError as exc:
                 raise ConfigurationError(f"unknown object {exc.args[0]}") from None
             if len(rows) != len(points):
                 raise ConfigurationError("object_ids and points length mismatch")
-        self._universe[rows] = points
+        self._store.write_rows(rows, points)
 
     # ------------------------------------------------------------------
     # The cycle
@@ -392,25 +387,25 @@ class MonitoringSession:
         when the post-admission population would hold fewer than ``k``
         objects.
         """
+        store = self._store
         projected = (
-            len(self._row_of_ext)
-            + len(self._pending_join)
-            - len(self._pending_leave)
+            store.n_live + len(self._pending_join) - len(self._pending_leave)
         )
         if projected < self.k:
             raise NotEnoughObjectsError(self.k, projected)
 
         metrics = self.registry
         churned = self.pending_deltas > 0
+        copies_before = store.full_copies
         self._admit_queries(metrics)
         self._admit_objects(metrics)
 
-        if self._member_mode:
-            # Fresh copy each cycle: the delta grid diffs consecutive
-            # snapshots and disables answer reuse on an aliased array.
-            positions = self._universe.copy()
-        else:
-            positions = self._universe[self._live_rows]
+        # Publish the staging epoch and hand the engine the read-only
+        # view — member engines see the whole row universe, dense ones
+        # the packed survivors (zero-copy while the universe has no
+        # holes).  No layer copies the position array on this path.
+        snap = store.publish()
+        positions = snap if self._member_mode else store.packed(snap)
 
         if self._started:
             raw = self.system.tick(positions)
@@ -422,18 +417,21 @@ class MonitoringSession:
         if churned:
             metrics.inc("service.churn_cycles")
         if metrics.enabled:
-            metrics.set_gauge("service.live_objects", len(self._row_of_ext))
+            metrics.set_gauge("service.live_objects", store.n_live)
             metrics.set_gauge("service.active_queries", len(self._handles))
-            metrics.set_gauge("service.universe_rows", self._cap)
-            metrics.set_gauge("service.free_rows", self._cap - len(self._row_of_ext))
+            metrics.set_gauge("service.universe_rows", store.capacity)
+            metrics.set_gauge("service.free_rows", store.capacity - store.n_live)
             metrics.set_gauge("service.pending_deltas", self.pending_deltas)
+            metrics.set_gauge(
+                "state.copies_per_cycle", float(store.full_copies - copies_before)
+            )
 
         # One gather over the flattened neighbor ids beats per-neighbor
         # numpy scalar indexing by ~3x at NQ in the hundreds.
         if self._member_mode:
-            trans = self._ext_of_row
+            trans = store.ext_table()
         else:
-            trans = self._ext_of_row[self._live_rows]
+            trans = store.ext_ids(store.live_rows())
         flat = [oid for qa in raw for oid, _ in qa.neighbors]
         ext_ids = trans[flat].tolist() if flat else []
         out: Dict[QueryHandle, SessionAnswer] = {}
@@ -459,7 +457,7 @@ class MonitoringSession:
         new_handles.extend(QueryHandle(hid) for hid in self._pending_register)
         kept = np.full(len(new_handles), -1, dtype=np.intp)
         kept[: len(kept_rows)] = kept_rows
-        parts = [self._query_points[kept_rows]]
+        parts = [self._store.queries[kept_rows]]
         if self._pending_register:
             parts.append(
                 np.asarray(
@@ -472,87 +470,23 @@ class MonitoringSession:
         metrics.inc("service.queries_registered", len(self._pending_register))
         metrics.inc("service.queries_dropped", len(drops))
         self._handles = new_handles
-        self._query_points = queries
+        self._store.set_queries(queries)
         self._pending_register = {}
         self._pending_drop = {}
 
     def _admit_objects(self, metrics: MetricsRegistry) -> None:
-        joined: List[int] = []
-        left: List[int] = []
-        for oid in self._pending_leave:
-            row = self._row_of_ext.pop(oid)
-            self._ext_of_row[row] = -1
-            self._universe[row] = -1.0
-            self._free.append(row)
-            left.append(row)
-        for oid, xy in self._pending_join.items():
-            row = self._alloc_row()
-            self._universe[row] = xy
-            self._ext_of_row[row] = oid
-            self._row_of_ext[oid] = row
-            joined.append(row)
-        metrics.inc("service.objects_joined", len(joined))
-        metrics.inc("service.objects_left", len(left))
+        delta = self._store.admit(
+            self._pending_join,
+            self._pending_leave,
+            member_mode=self._member_mode,
+        )
+        metrics.inc("service.objects_joined", len(delta.joined))
+        metrics.inc("service.objects_left", len(delta.left))
+        if delta.compacted:
+            metrics.inc("service.compactions")
         self._pending_join = {}
         self._pending_leave = {}
-
-        compacted = self._maybe_compact(metrics)
-        live = np.flatnonzero(self._ext_of_row[: self._top] >= 0)
-        self._live_rows = live
-        delta = ObjectDelta(
-            joined=np.asarray(joined, dtype=np.intp),
-            left=np.asarray(left, dtype=np.intp),
-            member_idx=live if self._member_mode else None,
-            n_universe=self._cap,
-            compacted=compacted,
-        )
         self.system.engine.apply_object_delta(delta)
-
-    def _alloc_row(self) -> int:
-        if self._free:
-            return self._free.pop()
-        if self._top == self._cap:
-            self._grow(self._cap * 2)
-        row = self._top
-        self._top += 1
-        return row
-
-    def _grow(self, new_cap: int) -> None:
-        universe = np.full((new_cap, 2), -1.0, dtype=np.float64)
-        universe[: self._cap] = self._universe
-        ext = np.full(new_cap, -1, dtype=np.int64)
-        ext[: self._cap] = self._ext_of_row
-        self._universe = universe
-        self._ext_of_row = ext
-        self._cap = new_cap
-        # Member engines see the universe length change and rebuild
-        # their structures on their own; nothing else to invalidate.
-
-    def _maybe_compact(self, metrics: MetricsRegistry) -> bool:
-        """Repack survivors when the universe is three-quarters vacant.
-
-        Row order is preserved (survivors keep their relative order), so
-        dense-mode engines see an unchanged packed array; member-mode
-        engines get ``compacted=True`` and rebuild, and the refreshed
-        ``ext_of_row`` table keeps reported answer IDs correct.
-        """
-        n_live = len(self._row_of_ext)
-        if self._cap <= _MIN_CAP or n_live * 4 > self._cap:
-            return False
-        rows = np.flatnonzero(self._ext_of_row[: self._top] >= 0)
-        new_cap = max(_MIN_CAP, 2 * n_live)
-        universe = np.full((new_cap, 2), -1.0, dtype=np.float64)
-        ext = np.full(new_cap, -1, dtype=np.int64)
-        universe[:n_live] = self._universe[rows]
-        ext[:n_live] = self._ext_of_row[rows]
-        self._universe = universe
-        self._ext_of_row = ext
-        self._cap = new_cap
-        self._top = n_live
-        self._free = []
-        self._row_of_ext = {int(oid): row for row, oid in enumerate(ext[:n_live])}
-        metrics.inc("service.compactions")
-        return True
 
     # ------------------------------------------------------------------
     # Resource management

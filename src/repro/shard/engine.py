@@ -44,6 +44,7 @@ import numpy as np
 from ..core.answers import AnswerList
 from ..engines.base import BaseEngine
 from ..errors import ConfigurationError, IndexStateError, NotEnoughObjectsError
+from ..state import as_world_snapshot
 from ..obs.registry import MetricsRegistry
 from ..obs.remote import WorkerTelemetry, merge_worker_metrics
 from .partition import StripePartition
@@ -267,9 +268,8 @@ class ShardedGridEngine(BaseEngine):
         self.maintain(positions)
 
     def maintain(self, positions: np.ndarray) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        if positions.ndim != 2 or positions.shape[1] != 2:
-            raise ConfigurationError("positions must be an (N, 2) array")
+        world = as_world_snapshot(positions)
+        positions = np.asarray(world, dtype=np.float64)
         self._cycle += 1
         self._positions = positions
         self._n = len(positions)
@@ -291,8 +291,12 @@ class ShardedGridEngine(BaseEngine):
                 and self._cycle % self.heartbeat_every == 0
             ):
                 pool.ping(timeout=self.task_timeout)
+            # Epoch-versioned snapshots let the pool skip re-serializing
+            # an unchanged (or carried-forward identical) world: equal
+            # (token, epoch) keys are bytes-identical by store contract.
+            key = (world.token, world.epoch) if world.versioned else None
             with self.tracer.span("shm_write"):
-                self._shm_name, _ = pool.write_snapshot(positions)
+                self._shm_name, _ = pool.write_snapshot(positions, key=key)
         # Serial mode: the stripe cache deliberately survives the cycle —
         # the per-stripe delta grids update themselves incrementally in
         # run_shard_task when the new cycle's first task arrives.

@@ -42,7 +42,8 @@ from __future__ import annotations
 import multiprocessing
 import time
 from multiprocessing import shared_memory
-from multiprocessing.connection import wait as connection_wait
+from multiprocessing.connection import Connection, wait as connection_wait
+from multiprocessing.process import BaseProcess
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -57,10 +58,12 @@ class _WorkerHandle:
 
     __slots__ = ("index", "process", "conn", "outstanding")
 
+    # Late-init (always set by the pool's _spawn before any use).
+    process: BaseProcess
+    conn: Connection
+
     def __init__(self, index: int) -> None:
         self.index = index
-        self.process = None
-        self.conn = None
         self.outstanding: Dict[int, dict] = {}
 
 
@@ -86,6 +89,8 @@ class ShardWorkerPool:
         self._workers: List[_WorkerHandle] = []
         self._shm: Optional[shared_memory.SharedMemory] = None
         self._shm_capacity = 0
+        self._shm_key: "Optional[tuple[int, Optional[int]]]" = None
+        self._shm_rows = -1
         self._task_seq = 0
         self._submit_times: Dict[int, float] = {}
         self._closed = False
@@ -116,7 +121,7 @@ class ShardWorkerPool:
 
     def worker_pids(self) -> List[int]:
         """PIDs of the live workers (fault-injection tests kill these)."""
-        return [h.process.pid for h in self._workers if h.process is not None]
+        return [h.process.pid for h in self._workers if h.process.pid is not None]
 
     def shutdown(self) -> None:
         """Stop workers and release the shared-memory segment (idempotent)."""
@@ -149,6 +154,8 @@ class ShardWorkerPool:
                 pass
             self._shm = None
             self._shm_capacity = 0
+            self._shm_key = None
+            self._shm_rows = -1
 
     def __del__(self) -> None:  # best-effort; engines call shutdown() explicitly
         try:
@@ -159,7 +166,11 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------
     # Shared-memory snapshot
     # ------------------------------------------------------------------
-    def write_snapshot(self, positions: np.ndarray) -> "tuple[str, int]":
+    def write_snapshot(
+        self,
+        positions: np.ndarray,
+        key: "Optional[tuple[int, Optional[int]]]" = None,
+    ) -> "tuple[str, int]":
         """Copy the cycle's positions into shared memory; return (name, n).
 
         The segment is grown (never shrunk) when the population outgrows
@@ -168,6 +179,13 @@ class ShardWorkerPool:
         churn the rows are a stable object *universe* (vacant rows hold
         the ``(-1, -1)`` sentinel); the pool copies them verbatim and
         membership is the workers' concern.
+
+        ``key`` is the snapshot's ``(store token, epoch)`` identity when
+        the caller holds an epoch-versioned
+        :class:`~repro.state.WorldSnapshot`: equal keys are guaranteed
+        bytes-identical, so a repeat write with the same key (and no
+        segment growth) skips the memcpy entirely — counted under
+        ``state.shm_skips``.  ``None`` (anonymous arrays) always copies.
         """
         if self._closed:
             raise IndexStateError("pool is shut down")
@@ -180,8 +198,18 @@ class ShardWorkerPool:
                 self._shm.unlink()
             self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
             self._shm_capacity = nbytes
+            self._shm_key = None
+        if (
+            key is not None
+            and key == self._shm_key
+            and n == self._shm_rows
+        ):
+            self.metrics.inc("state.shm_skips")
+            return self._shm.name, n
         view = np.ndarray((n, 2), dtype=np.float64, buffer=self._shm.buf)
         np.copyto(view, positions.reshape(n, 2))
+        self._shm_key = key
+        self._shm_rows = n
         return self._shm.name, n
 
     # ------------------------------------------------------------------

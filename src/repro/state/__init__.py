@@ -1,0 +1,25 @@
+"""The world-state plane: one epoch-versioned store behind every layer.
+
+:class:`WorldStore` owns the columnar world state (positions,
+membership, external-id remap, query set); :class:`WorldSnapshot` is
+the read-only zero-copy view one ``publish()`` hands to every consumer.
+See DESIGN.md §11 for the ownership diagram and epoch lifecycle.
+"""
+
+from .snapshot import (
+    ObjectDelta,
+    PositionsLike,
+    QueryDelta,
+    WorldSnapshot,
+    as_world_snapshot,
+)
+from .store import WorldStore
+
+__all__ = [
+    "ObjectDelta",
+    "PositionsLike",
+    "QueryDelta",
+    "WorldSnapshot",
+    "WorldStore",
+    "as_world_snapshot",
+]

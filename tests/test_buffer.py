@@ -1,4 +1,4 @@
-"""Tests for the snapshot buffer and the streaming monitoring service."""
+"""Tests for the snapshot buffer and the (deprecated) monitoring service."""
 
 from __future__ import annotations
 
@@ -22,11 +22,36 @@ class TestPositionBuffer:
         with pytest.raises(OutOfRegionError):
             PositionBuffer(np.asarray([[0.5, 1.5]]))
 
-    def test_snapshot_is_a_copy(self):
+    def test_snapshot_is_immutable(self):
+        # The snapshot is a read-only view of the published store epoch,
+        # shared zero-copy with every consumer — writes must raise.
         buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
         snap = buffer.snapshot()
-        snap[0, 0] = 0.9
+        with pytest.raises(ValueError):
+            snap[0, 0] = 0.9
         assert buffer.snapshot()[0, 0] == 0.5
+
+    def test_clean_snapshot_shares_memory(self):
+        # No dirty reports -> the same epoch is republished: same bytes,
+        # no copy anywhere on the path.
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5], [0.1, 0.2]]))
+        first = buffer.snapshot()
+        second = buffer.snapshot()
+        assert np.shares_memory(first, second)
+        buffer.report(1, 0.3, 0.3)
+        third = buffer.snapshot()
+        assert tuple(third[1]) == (0.3, 0.3)
+        # Earlier snapshots stay frozen at their epoch's content.
+        assert tuple(first[1]) == (0.1, 0.2)
+
+    def test_publish_returns_versioned_snapshot(self):
+        buffer = PositionBuffer(np.asarray([[0.5, 0.5]]))
+        snap = buffer.publish()
+        again = buffer.publish()
+        assert again.epoch == snap.epoch and again.token == snap.token
+        buffer.report(0, 0.6, 0.6)
+        bumped = buffer.publish()
+        assert bumped.epoch > snap.epoch
 
     def test_report_applies_on_snapshot(self):
         buffer = PositionBuffer(np.asarray([[0.5, 0.5], [0.1, 0.1]]))
@@ -71,12 +96,23 @@ class TestPositionBuffer:
         assert buffer.snapshot().shape == (0, 2)
 
 
+def make_service(system, objects):
+    with pytest.warns(DeprecationWarning):
+        return MonitoringService(system, objects)
+
+
 class TestMonitoringService:
+    def test_constructing_one_warns(self):
+        objects = make_dataset("uniform", 100, seed=1)
+        queries = make_queries(2, seed=2)
+        with pytest.warns(DeprecationWarning, match="MonitoringSession"):
+            MonitoringService(MonitoringSystem.object_indexing(2, queries), objects)
+
     def test_streaming_cycle_exact(self):
         objects = make_dataset("uniform", 600, seed=1)
         queries = make_queries(5, seed=2)
         system = MonitoringSystem.object_indexing(4, queries)
-        service = MonitoringService(system, objects)
+        service = make_service(system, objects)
         assert len(service.initial_answers) == 5
 
         # A burst of asynchronous reports, then a cycle.
@@ -97,9 +133,7 @@ class TestMonitoringService:
     def test_multiple_cycles(self):
         objects = make_dataset("uniform", 200, seed=4)
         queries = make_queries(3, seed=5)
-        service = MonitoringService(
-            MonitoringSystem.hierarchical(3, queries), objects
-        )
+        service = make_service(MonitoringSystem.hierarchical(3, queries), objects)
         rng = np.random.default_rng(6)
         current = objects.copy()
         for _ in range(3):
@@ -116,7 +150,7 @@ class TestMonitoringService:
     def test_cycle_without_reports(self):
         objects = make_dataset("uniform", 100, seed=7)
         queries = make_queries(2, seed=8)
-        service = MonitoringService(
+        service = make_service(
             MonitoringSystem.object_indexing(2, queries), objects
         )
         first = service.run_cycle()

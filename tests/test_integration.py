@@ -7,8 +7,8 @@ import pytest
 
 from repro import (
     DeltaTracker,
-    MonitoringService,
     MonitoringSystem,
+    PositionBuffer,
     RKNNMonitor,
     RandomWalkModel,
     RoadNetworkModel,
@@ -81,11 +81,10 @@ class TestStreamingPipeline:
         """Full pipeline: async reports -> snapshot -> answers -> deltas."""
         objects = make_dataset("skewed", 700, seed=46)
         queries = make_queries(6, seed=47)
-        service = MonitoringService(
-            MonitoringSystem.query_indexing(5, queries), objects
-        )
+        buffer = PositionBuffer(objects)
+        system = MonitoringSystem.query_indexing(5, queries)
         tracker = DeltaTracker()
-        tracker.update(service.initial_answers)
+        tracker.update(system.load(buffer.publish()))
 
         rng = np.random.default_rng(48)
         current = objects.copy()
@@ -93,9 +92,9 @@ class TestStreamingPipeline:
             movers = rng.choice(700, size=150, replace=False)
             for object_id in movers:
                 x, y = rng.random(2)
-                service.report(int(object_id), float(x), float(y))
+                buffer.report(int(object_id), float(x), float(y))
                 current[object_id] = (x, y)
-            answers = service.run_cycle()
+            answers = system.tick(buffer.publish())
             deltas = tracker.update(answers)
             # Exactness against the accumulated state.
             for qa in answers:

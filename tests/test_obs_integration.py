@@ -263,18 +263,19 @@ class TestCostModelValidation:
 
 
 class TestBufferCounters:
-    def test_service_reports_buffer_counters(self):
-        from repro.core.buffer import MonitoringService
+    def test_buffer_reports_counters_on_publish(self):
+        from repro.core.buffer import PositionBuffer
 
         registry = MetricsRegistry()
         queries = make_queries(3, seed=41)
         system = MonitoringSystem.object_indexing(3, queries, registry=registry)
         positions = make_dataset("uniform", 50, seed=42)
-        service = MonitoringService(system, positions)
-        service.report(0, 0.5, 0.5)
-        service.report(0, 0.6, 0.6)  # coalesced: same object, same cycle
-        service.report(1, 0.7, 0.7)
-        service.run_cycle()
+        buffer = PositionBuffer(positions, registry=registry)
+        system.load(buffer.publish())
+        buffer.report(0, 0.5, 0.5)
+        buffer.report(0, 0.6, 0.6)  # coalesced: same object, same cycle
+        buffer.report(1, 0.7, 0.7)
+        system.tick(buffer.publish())
         assert registry.counter("buffer.reports") == 3.0
         assert registry.counter("buffer.coalesced_hits") == 1.0
         assert registry.counter("buffer.objects_folded") == 2.0
