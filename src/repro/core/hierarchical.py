@@ -452,7 +452,10 @@ class HierarchicalObjectIndex:
                 d2 = min_dist2_point_box(
                     qx, qy, xlo, ylo, xlo + side, ylo + side
                 )
-                if d2 > radius2 or (answers.full and d2 >= answers.worst_dist2):
+                # Both prunes strict: a box at distance exactly radius2 (or
+                # exactly the current k-th distance) can still contribute an
+                # equidistant lower-id candidate to the (dist2, id) tie-break.
+                if d2 > radius2 or (answers.full and d2 > answers.worst_dist2):
                     counters.cells_pruned += 1
                     continue
                 if isinstance(slot, _SubGrid):

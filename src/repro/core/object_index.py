@@ -254,7 +254,10 @@ class ObjectIndex:
                 if not bucket:
                     continue
                 if prune and answers.full:
-                    if min_dist2_point_cell(qx, qy, i, j, delta) >= answers.worst_dist2:
+                    # Strict: a cell whose min distance *equals* the k-th
+                    # distance may still hold an equidistant lower-id
+                    # candidate that wins the (dist2, id) tie-break.
+                    if min_dist2_point_cell(qx, qy, i, j, delta) > answers.worst_dist2:
                         counters.cells_pruned += 1
                         continue
                 counters.objects_scanned += len(bucket)

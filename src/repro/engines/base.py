@@ -26,7 +26,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, ClassVar, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -263,6 +263,12 @@ class CyclePipeline:
     ) -> None:
         self.engine = engine
         self.history: List[CycleTiming] = []
+        #: Optional per-cycle observer ``(record, answers) -> None`` called
+        #: after every executed cycle — the verify subsystem's record/replay
+        #: hook (:mod:`repro.verify`).  The raw :class:`AnswerList` objects
+        #: are passed through, so observers see exact squared distances
+        #: before any sqrt packaging.
+        self.cycle_hook: Optional[Callable[..., None]] = None
         self.registry: MetricsRegistry = (
             registry if registry is not None else NULL_REGISTRY
         )
@@ -330,6 +336,8 @@ class CyclePipeline:
             self.history.append(record)
         registry.inc("cycle.count")
         registry.observe("cycle.total_seconds", record.total_time)
+        if self.cycle_hook is not None:
+            self.cycle_hook(record, answers)
         return answers
 
     @property

@@ -399,7 +399,10 @@ class RTree:
         while heap:
             d2, _, node = heapq.heappop(heap)
             counters.nodes_visited += 1
-            if answers.full and d2 >= answers.worst_dist2:
+            # Strict: a node whose MINDIST equals the current k-th distance
+            # may still hold an equidistant lower-id candidate that wins
+            # the (dist2, id) tie-break.
+            if answers.full and d2 > answers.worst_dist2:
                 break
             if node.leaf:
                 counters.leaves_scanned += 1
@@ -411,7 +414,7 @@ class RTree:
             else:
                 for child in node.children:
                     child_d2 = child.min_dist2(qx, qy)
-                    if not answers.full or child_d2 < answers.worst_dist2:
+                    if not answers.full or child_d2 <= answers.worst_dist2:
                         heapq.heappush(heap, (child_d2, next(counter), child))
         return answers
 

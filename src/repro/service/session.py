@@ -45,7 +45,7 @@ system's metrics registry; see docs/api.md ("Sessions & churn").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -181,6 +181,10 @@ class MonitoringSession:
         self._pending_join: Dict[int, Tuple[float, float]] = {}
         self._pending_leave: Dict[int, None] = {}
 
+        # Optional workload recorder (repro.verify): notified of every
+        # admitted lifecycle call, position update, and tick.
+        self._recorder: Optional[Any] = None
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -224,6 +228,22 @@ class MonitoringSession:
     def handles(self) -> List[QueryHandle]:
         """Active query handles in engine-row order."""
         return list(self._handles)
+
+    def attach_recorder(self, recorder) -> None:
+        """Record this session's workload (see :mod:`repro.verify`).
+
+        ``recorder`` is duck-typed: ``on_event(dict)`` receives every
+        *admitted* lifecycle call and position update in call order
+        (deferred or raising calls are never recorded), ``on_tick(answers)``
+        each completed cycle's answers.  Replaying the recorded stream
+        against a fresh session reproduces this run bit-identically.
+        Pass ``None`` to detach.
+        """
+        self._recorder = recorder
+
+    def _record(self, event: dict) -> None:
+        if self._recorder is not None:
+            self._recorder.on_event(event)
 
     def query_points(self) -> np.ndarray:
         """Active query positions, row-aligned with :meth:`handles`."""
@@ -273,6 +293,7 @@ class MonitoringSession:
         handle = QueryHandle(self._next_handle)
         self._next_handle += 1
         self._pending_register[handle.id] = xy
+        self._record({"t": "reg", "hid": handle.id, "xy": [xy[0], xy[1]]})
         return handle
 
     def drop_query(self, handle: QueryHandle) -> Optional[AdmissionDeferred]:
@@ -281,6 +302,7 @@ class MonitoringSession:
         hid = handle.id if isinstance(handle, QueryHandle) else int(handle)
         if hid in self._pending_register:
             del self._pending_register[hid]
+            self._record({"t": "drop", "hid": hid})
             return None
         if hid in self._pending_drop:
             raise ConfigurationError(f"query handle {hid} is already dropping")
@@ -290,6 +312,7 @@ class MonitoringSession:
         if deferred is not None:
             return deferred
         self._pending_drop[hid] = None
+        self._record({"t": "drop", "hid": hid})
         return None
 
     def join_object(self, object_id: int, point) -> Optional[AdmissionDeferred]:
@@ -307,6 +330,7 @@ class MonitoringSession:
             row = self._store.row_of(oid)
             assert row is not None
             self._store.write_row(row, *xy)
+            self._record({"t": "join", "oid": oid, "xy": [xy[0], xy[1]]})
             return None
         if oid in self._pending_join or self._store.contains(oid):
             raise ConfigurationError(f"object {oid} is already present")
@@ -314,6 +338,7 @@ class MonitoringSession:
         if deferred is not None:
             return deferred
         self._pending_join[oid] = xy
+        self._record({"t": "join", "oid": oid, "xy": [xy[0], xy[1]]})
         return None
 
     def leave_object(self, object_id: int) -> Optional[AdmissionDeferred]:
@@ -322,6 +347,7 @@ class MonitoringSession:
         oid = int(object_id)
         if oid in self._pending_join:
             del self._pending_join[oid]
+            self._record({"t": "leave", "oid": oid})
             return None
         if oid in self._pending_leave:
             raise ConfigurationError(f"object {oid} is already leaving")
@@ -331,6 +357,7 @@ class MonitoringSession:
         if deferred is not None:
             return deferred
         self._pending_leave[oid] = None
+        self._record({"t": "leave", "oid": oid})
         return None
 
     # ------------------------------------------------------------------
@@ -342,11 +369,13 @@ class MonitoringSession:
         xy = _as_point(point, "object point")
         if oid in self._pending_join:
             self._pending_join[oid] = xy
+            self._record({"t": "move", "oids": [oid], "xy": [[xy[0], xy[1]]]})
             return
         row = self._store.row_of(oid)
         if row is None:
             raise ConfigurationError(f"unknown object {oid}")
         self._store.write_row(row, *xy)
+        self._record({"t": "move", "oids": [oid], "xy": [[xy[0], xy[1]]]})
 
     def update_positions(
         self, points: np.ndarray, object_ids: Optional[np.ndarray] = None
@@ -355,7 +384,9 @@ class MonitoringSession:
 
         Without ``object_ids``, ``points`` must cover the whole live
         population in :meth:`population` order.  With ``object_ids`` it
-        updates exactly those objects (all must be live).
+        updates exactly those objects — live or pending admission, same
+        as :meth:`move_object` (a pending join's admission point is
+        updated in place).
         """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 2:
@@ -367,14 +398,46 @@ class MonitoringSession:
                     f"expected positions for all {len(rows)} live objects, "
                     f"got {len(points)}"
                 )
+            live_points = points
         else:
+            object_ids = np.asarray(object_ids)
+            if len(object_ids) != len(points):
+                raise ConfigurationError("object_ids and points length mismatch")
+            live_ids, live_points = object_ids, points
+            if self._pending_join:
+                pending = np.fromiter(
+                    (int(o) in self._pending_join for o in object_ids),
+                    dtype=bool,
+                    count=len(object_ids),
+                )
+                if pending.any():
+                    for oid, xy in zip(
+                        object_ids[pending].tolist(), points[pending]
+                    ):
+                        self._pending_join[int(oid)] = (
+                            float(xy[0]),
+                            float(xy[1]),
+                        )
+                    live_ids = object_ids[~pending]
+                    live_points = points[~pending]
             try:
-                rows = self._store.rows_of(object_ids)
+                rows = self._store.rows_of(live_ids)
             except KeyError as exc:
                 raise ConfigurationError(f"unknown object {exc.args[0]}") from None
-            if len(rows) != len(points):
-                raise ConfigurationError("object_ids and points length mismatch")
-        self._store.write_rows(rows, points)
+        self._store.write_rows(rows, live_points)
+        if self._recorder is not None:
+            oids = (
+                self._store.ext_ids(rows)
+                if object_ids is None
+                else np.asarray(object_ids)
+            )
+            self._recorder.on_event(
+                {
+                    "t": "move",
+                    "oids": [int(o) for o in oids],
+                    "xy": points.tolist(),
+                }
+            )
 
     # ------------------------------------------------------------------
     # The cycle
@@ -444,6 +507,8 @@ class MonitoringSession:
             )
             pos = end
             out[handle] = SessionAnswer(handle, qa.timestamp, neighbors)
+        if self._recorder is not None:
+            self._recorder.on_tick(out)
         return out
 
     def _admit_queries(self, metrics: MetricsRegistry) -> None:

@@ -1,0 +1,78 @@
+"""Differential conformance harness for the monitoring engines.
+
+The verification subsystem behind ``python -m repro.verify``:
+
+* :mod:`~repro.verify.trace` — recorded, replayable workload traces
+  (JSONL / NPZ, exact float64 round-trip);
+* :mod:`~repro.verify.recorder` — session hooks that capture a live run;
+* :mod:`~repro.verify.differential` — cross-engine execution with
+  ``(distance, id)``-exact cycle-by-cycle diffing;
+* :mod:`~repro.verify.scenarios` — seeded workload fuzzing profiles;
+* :mod:`~repro.verify.shrink` — greedy minimization of failing traces;
+* :mod:`~repro.verify.metamorphic` — single-engine invariants
+  (translation/scale invariance, k-monotonicity, containment).
+
+See docs/testing.md for the oracle hierarchy and reproduction workflow.
+"""
+
+from .differential import (
+    EXACT_METHODS,
+    DiffReport,
+    Divergence,
+    MethodSpec,
+    ReplayResult,
+    RunResult,
+    make_specs,
+    replay,
+    run_differential,
+    run_workload,
+)
+from .metamorphic import (
+    CHECKS,
+    MetamorphicFailure,
+    run_metamorphic,
+    scale_workload,
+    translate_workload,
+)
+from .recorder import TraceRecorder
+from .scenarios import PROFILES, Scenario, churn_scenario, make_scenario
+from .shrink import ShrinkResult, shrink_workload
+from .trace import (
+    Workload,
+    canonical_cycle,
+    digest_cycle,
+    load_trace,
+    save_trace,
+    workload_valid,
+)
+
+__all__ = [
+    "CHECKS",
+    "DiffReport",
+    "Divergence",
+    "EXACT_METHODS",
+    "MetamorphicFailure",
+    "MethodSpec",
+    "PROFILES",
+    "ReplayResult",
+    "RunResult",
+    "Scenario",
+    "ShrinkResult",
+    "TraceRecorder",
+    "Workload",
+    "canonical_cycle",
+    "churn_scenario",
+    "digest_cycle",
+    "load_trace",
+    "make_scenario",
+    "make_specs",
+    "replay",
+    "run_differential",
+    "run_metamorphic",
+    "run_workload",
+    "save_trace",
+    "scale_workload",
+    "shrink_workload",
+    "translate_workload",
+    "workload_valid",
+]

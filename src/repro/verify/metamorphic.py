@@ -1,0 +1,287 @@
+"""Metamorphic invariants: single-engine checks that need no oracle.
+
+Differential testing needs two engines; these invariants hold for *one*
+engine on mathematical grounds, so they can catch a bug even in the
+baseline everything else is diffed against:
+
+``translation``
+    k-NN answers are translation-invariant.  The harness first scales
+    the workload into ``[0, 0.5]²`` and then translates by an exact
+    binary offset (default ``(0.25, 0.25)``): both transforms are exact
+    in float64, so ``(x + t) - (q + t)`` reproduces ``x - q`` bit for
+    bit and the translated run must return identical ids *and identical
+    distance bits* — even though every grid-cell boundary moved.
+``scale``
+    Scaling all coordinates by a power of two (default ``0.5``) is
+    exact: ids and ordering are unchanged and every distance is exactly
+    ``factor`` times the original (power-of-two multiply and sqrt are
+    both exact here).
+``k-monotonicity``
+    The top-``k`` of a ``k+1``-NN answer is the ``k``-NN answer: running
+    the same workload with ``k+1`` must reproduce each ``k`` answer as a
+    strict prefix.
+``containment``
+    Range-widening consistency against raw positions: every live object
+    strictly inside the answer's k-th distance must be *in* the answer,
+    no reported neighbor may lie outside it, and widening the radius can
+    only add objects.  Checked per cycle with a direct numpy scan of the
+    session's own population — no second engine involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from .differential import MethodSpec, RunResult, run_workload
+from .trace import Workload
+
+CHECKS = ("translation", "scale", "k_monotonicity", "containment")
+
+
+@dataclass(frozen=True)
+class MetamorphicFailure:
+    check: str
+    method: str
+    cycle: int
+    hid: Optional[int]
+    detail: str
+
+    def describe(self) -> str:
+        where = f"cycle {self.cycle}"
+        if self.hid is not None:
+            where += f", query hid={self.hid}"
+        return f"[{self.check}] {self.method} at {where}: {self.detail}"
+
+
+def _transform_workload(workload: Workload, fn) -> Workload:
+    """Apply ``fn`` to every coordinate pair in the event stream."""
+    out = workload.copy()
+    out.digests = None
+    for events in out.cycles:
+        for ev in events:
+            if "xy" not in ev:
+                continue
+            if ev["t"] == "move":
+                ev["xy"] = [fn(xy) for xy in ev["xy"]]
+            else:
+                ev["xy"] = fn(ev["xy"])
+    return out
+
+
+def scale_workload(workload: Workload, factor: float) -> Workload:
+    """Scale every coordinate by ``factor`` (exact for powers of two)."""
+    return _transform_workload(
+        workload, lambda xy: [xy[0] * factor, xy[1] * factor]
+    )
+
+
+def translate_workload(workload: Workload, dx: float, dy: float) -> Workload:
+    """Translate every coordinate by ``(dx, dy)``."""
+    return _transform_workload(workload, lambda xy: [xy[0] + dx, xy[1] + dy])
+
+
+def _first_answer_mismatch(a: RunResult, b: RunResult, map_dist):
+    """First (cycle, hid, detail) where b's answers aren't map_dist(a's)."""
+    for cycle, (ca, cb) in enumerate(zip(a.answers, b.answers)):
+        da, db = dict(ca), dict(cb)
+        if set(da) != set(db):
+            return cycle, None, f"query sets differ: {sorted(da)} vs {sorted(db)}"
+        for hid in sorted(da):
+            want = tuple((oid, map_dist(d)) for oid, d in da[hid])
+            if want != db[hid]:
+                return cycle, hid, f"expected {want}, got {db[hid]}"
+    if len(a.answers) != len(b.answers):
+        return (
+            min(len(a.answers), len(b.answers)),
+            None,
+            f"cycle counts differ: {len(a.answers)} vs {len(b.answers)}",
+        )
+    return None
+
+
+def check_translation(
+    spec: MethodSpec,
+    workload: Workload,
+    *,
+    offset=(0.25, 0.25),
+    registry: Optional[MetricsRegistry] = None,
+) -> Optional[MetamorphicFailure]:
+    """Answers must be identical (ids and distance bits) under translation."""
+    verify = registry if registry is not None else NULL_REGISTRY
+    verify.inc("verify.metamorphic.checks")
+    # Scale into [0, 0.5]^2 first so the translated run stays in-region;
+    # both transforms are exact, so distances must match bitwise.
+    base_w = scale_workload(workload, 0.5)
+    moved_w = translate_workload(base_w, float(offset[0]), float(offset[1]))
+    base = run_workload(spec, base_w, registry=verify)
+    moved = run_workload(spec, moved_w, registry=verify)
+    if not base.ok or not moved.ok:
+        return _error_failure("translation", spec, base, moved)
+    bad = _first_answer_mismatch(base, moved, lambda d: d)
+    if bad is None:
+        return None
+    verify.inc("verify.metamorphic.failures")
+    return MetamorphicFailure("translation", spec.label, *bad)
+
+
+def check_scale(
+    spec: MethodSpec,
+    workload: Workload,
+    *,
+    factor: float = 0.5,
+    registry: Optional[MetricsRegistry] = None,
+) -> Optional[MetamorphicFailure]:
+    """Scaling by a power of two scales every distance exactly."""
+    verify = registry if registry is not None else NULL_REGISTRY
+    verify.inc("verify.metamorphic.checks")
+    base = run_workload(spec, workload, registry=verify)
+    scaled = run_workload(
+        spec, scale_workload(workload, factor), registry=verify
+    )
+    if not base.ok or not scaled.ok:
+        return _error_failure("scale", spec, base, scaled)
+    bad = _first_answer_mismatch(base, scaled, lambda d: d * factor)
+    if bad is None:
+        return None
+    verify.inc("verify.metamorphic.failures")
+    return MetamorphicFailure("scale", spec.label, *bad)
+
+
+def check_k_monotonicity(
+    spec: MethodSpec,
+    workload: Workload,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+) -> Optional[MetamorphicFailure]:
+    """top-k of the (k+1)-NN answer must equal the k-NN answer."""
+    verify = registry if registry is not None else NULL_REGISTRY
+    verify.inc("verify.metamorphic.checks")
+    wider = replace(workload.copy(), k=workload.k + 1)
+    if not _supports_k(wider):
+        return None  # population dips below k+1 somewhere; not applicable
+    base = run_workload(spec, workload, registry=verify)
+    plus = run_workload(spec, wider, registry=verify)
+    if not base.ok or not plus.ok:
+        return _error_failure("k_monotonicity", spec, base, plus)
+    k = workload.k
+    for cycle, (ca, cb) in enumerate(zip(base.answers, plus.answers)):
+        da, db = dict(ca), dict(cb)
+        for hid in sorted(da):
+            if da[hid] != db[hid][:k]:
+                verify.inc("verify.metamorphic.failures")
+                return MetamorphicFailure(
+                    "k_monotonicity",
+                    spec.label,
+                    cycle,
+                    hid,
+                    f"k={k} answer {da[hid]} is not the prefix of "
+                    f"k={k + 1} answer {db[hid]}",
+                )
+    return None
+
+
+def check_containment(
+    spec: MethodSpec,
+    workload: Workload,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+) -> Optional[MetamorphicFailure]:
+    """Answers must contain every object strictly inside their k-th radius."""
+    verify = registry if registry is not None else NULL_REGISTRY
+    verify.inc("verify.metamorphic.checks")
+    run = run_workload(spec, workload, registry=verify, collect_populations=True)
+    if not run.ok:
+        return _error_failure("containment", spec, run, run)
+    for cycle, (canon, (ids, pos, queries)) in enumerate(
+        zip(run.answers, run.populations)
+    ):
+        for row, (hid, neighbors) in enumerate(canon):
+            if not neighbors:
+                continue
+            q = queries[row]
+            # Same operations as the engines: (dx^2 + dy^2) then sqrt,
+            # so the comparison below is exact, not epsilon-based.
+            diff = pos - q
+            dists = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2)
+            kth = neighbors[-1][1]
+            answer_ids = {oid for oid, _ in neighbors}
+            inside = {int(i) for i in ids[dists < kth]}
+            if not inside <= answer_ids:
+                verify.inc("verify.metamorphic.failures")
+                return MetamorphicFailure(
+                    "containment",
+                    spec.label,
+                    cycle,
+                    hid,
+                    f"objects {sorted(inside - answer_ids)} lie strictly "
+                    f"inside the k-th distance {kth!r} but are missing "
+                    "from the answer",
+                )
+            outside = [d for _, d in neighbors if d > kth]
+            if outside:
+                verify.inc("verify.metamorphic.failures")
+                return MetamorphicFailure(
+                    "containment",
+                    spec.label,
+                    cycle,
+                    hid,
+                    f"neighbor distances {outside} exceed the k-th "
+                    f"distance {kth!r}",
+                )
+            # Range widening: the population inside radius r is a subset
+            # of the population inside 2r — checked on the same scan.
+            if not inside <= {int(i) for i in ids[dists < 2.0 * kth]}:
+                verify.inc("verify.metamorphic.failures")
+                return MetamorphicFailure(
+                    "containment",
+                    spec.label,
+                    cycle,
+                    hid,
+                    "widening the radius lost objects (broken scan)",
+                )
+    return None
+
+
+def run_metamorphic(
+    spec: MethodSpec,
+    workload: Workload,
+    *,
+    checks=CHECKS,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[MetamorphicFailure]:
+    """Run the named invariant checks; returns all failures found."""
+    table = {
+        "translation": check_translation,
+        "scale": check_scale,
+        "k_monotonicity": check_k_monotonicity,
+        "containment": check_containment,
+    }
+    failures = []
+    for name in checks:
+        fn = table.get(name)
+        if fn is None:
+            raise ValueError(
+                f"unknown metamorphic check {name!r}; known: "
+                + ", ".join(sorted(table))
+            )
+        failure = fn(spec, workload, registry=registry)
+        if failure is not None:
+            failures.append(failure)
+    return failures
+
+
+def _supports_k(workload: Workload) -> bool:
+    from .trace import workload_valid
+
+    return workload_valid(workload)
+
+
+def _error_failure(
+    check: str, spec: MethodSpec, a: RunResult, b: RunResult
+) -> MetamorphicFailure:
+    detail = a.error or b.error or "run failed"
+    return MetamorphicFailure(check, spec.label, -1, None, f"run error: {detail}")

@@ -1,0 +1,67 @@
+"""Record a live :class:`~repro.service.MonitoringSession` to a trace.
+
+Attach a :class:`TraceRecorder` via
+:meth:`~repro.service.MonitoringSession.attach_recorder` and every
+successfully admitted lifecycle call, every position update, and every
+tick's canonical answers flow into an in-memory :class:`Workload`.
+Deferred admissions (:class:`~repro.service.AdmissionDeferred`) and
+calls that raise are *not* recorded — the trace holds exactly the calls
+that changed session state, which is what makes replay bit-identical.
+
+The session notifies the recorder through two duck-typed methods —
+``on_event(dict)`` and ``on_tick(answers)`` — so the service layer never
+imports the verify subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from .trace import Workload, canonical_cycle, digest_cycle, save_trace
+
+
+class TraceRecorder:
+    """Accumulates one session's event stream and per-cycle digests."""
+
+    def __init__(
+        self,
+        k: int,
+        method: Optional[str] = None,
+        options: Optional[Mapping[str, object]] = None,
+        meta: Optional[Mapping[str, object]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._workload = Workload(
+            k=k,
+            method=method,
+            options=dict(options or {}),
+            meta=dict(meta or {}),
+            digests=[],
+        )
+        self._current: list = []
+        self._registry = registry if registry is not None else NULL_REGISTRY
+
+    # -- session hook interface ----------------------------------------
+    def on_event(self, event: dict) -> None:
+        """One admitted lifecycle call or position update (in call order)."""
+        self._current.append(event)
+        self._registry.inc("verify.record.events")
+
+    def on_tick(self, answers: Mapping) -> None:
+        """One completed cycle: close the event batch, digest the answers."""
+        canon = canonical_cycle(answers)
+        self._workload.cycles.append(self._current)
+        assert self._workload.digests is not None
+        self._workload.digests.append(digest_cycle(canon))
+        self._current = []
+        self._registry.inc("verify.record.cycles")
+
+    # -- results -------------------------------------------------------
+    def workload(self) -> Workload:
+        """The recorded workload (complete cycles only)."""
+        return self._workload.copy()
+
+    def save(self, path: str) -> None:
+        """Write the recorded trace (see :func:`repro.verify.trace.save_trace`)."""
+        save_trace(self._workload, path)

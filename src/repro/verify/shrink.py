@@ -1,0 +1,194 @@
+"""Greedy trace minimization: cycles → objects → queries.
+
+When the differential runner finds a divergence, the raw scenario is
+rarely the story — a 20-cycle, 40-object workload usually contains a
+two-object distance tie that one engine breaks wrong.  The shrinker
+reduces a failing :class:`~repro.verify.trace.Workload` to a (locally)
+minimal one while preserving the failure:
+
+1. **truncate** — replays are prefix-closed (answers at cycle *c*
+   depend only on events up to *c*), so everything after the first
+   divergent cycle goes immediately;
+2. **drop cycles** — each remaining cycle batch is removed greedily
+   (last to first) if the divergence survives;
+3. **drop objects** — each object id is removed wholesale (its join,
+   leave, and every move entry referencing it);
+4. **drop queries** — each query likewise (register, drop).
+
+Every candidate is statically validated
+(:func:`~repro.verify.trace.workload_valid`) before spending a run, and
+the predicate is re-run passes until a fixpoint or the run budget is
+reached.  Determinism of the engines makes the loop sound: a candidate
+either reproduces the divergence or it does not — there is no flake to
+chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from .trace import Workload, workload_valid
+
+
+@dataclass
+class ShrinkResult:
+    workload: Workload
+    runs: int  #: predicate evaluations spent
+    removed_cycles: int
+    removed_objects: int
+    removed_queries: int
+
+    def describe(self) -> str:
+        return (
+            f"shrunk to {self.workload.n_cycles} cycles / "
+            f"{self.workload.n_events} events in {self.runs} runs "
+            f"(-{self.removed_cycles} cycles, -{self.removed_objects} "
+            f"objects, -{self.removed_queries} queries)"
+        )
+
+
+def _without_cycle(workload: Workload, index: int) -> Workload:
+    out = workload.copy()
+    del out.cycles[index]
+    if out.digests is not None:
+        out.digests = None  # digests describe the unshrunk run
+    return out
+
+
+def _without_object(workload: Workload, oid: int) -> Workload:
+    out = workload.copy()
+    out.digests = None
+    cycles: List[List[dict]] = []
+    for events in out.cycles:
+        kept: List[dict] = []
+        for ev in events:
+            kind = ev["t"]
+            if kind in ("join", "leave") and ev["oid"] == oid:
+                continue
+            if kind == "move" and oid in ev["oids"]:
+                oids = ev["oids"]
+                keep = [i for i, o in enumerate(oids) if o != oid]
+                if not keep:
+                    continue
+                ev = {
+                    "t": "move",
+                    "oids": [oids[i] for i in keep],
+                    "xy": [ev["xy"][i] for i in keep],
+                }
+            kept.append(ev)
+        cycles.append(kept)
+    out.cycles = cycles
+    return out
+
+
+def _without_query(workload: Workload, hid: int) -> Workload:
+    out = workload.copy()
+    out.digests = None
+    out.cycles = [
+        [
+            ev
+            for ev in events
+            if not (ev["t"] in ("reg", "drop") and ev["hid"] == hid)
+        ]
+        for events in out.cycles
+    ]
+    return out
+
+
+def _object_ids(workload: Workload) -> List[int]:
+    ids = []
+    seen = set()
+    for events in workload.cycles:
+        for ev in events:
+            if ev["t"] == "join" and ev["oid"] not in seen:
+                seen.add(ev["oid"])
+                ids.append(ev["oid"])
+    return ids
+
+
+def _query_ids(workload: Workload) -> List[int]:
+    ids = []
+    seen = set()
+    for events in workload.cycles:
+        for ev in events:
+            if ev["t"] == "reg" and ev["hid"] not in seen:
+                seen.add(ev["hid"])
+                ids.append(ev["hid"])
+    return ids
+
+
+def shrink_workload(
+    workload: Workload,
+    still_fails: Callable[[Workload], bool],
+    *,
+    first_divergence_cycle: Optional[int] = None,
+    max_runs: int = 250,
+    registry: Optional[MetricsRegistry] = None,
+) -> ShrinkResult:
+    """Greedily minimize a failing workload under ``still_fails``.
+
+    ``still_fails`` must return True when the candidate still reproduces
+    the original divergence (it is never called on statically invalid
+    candidates).  ``first_divergence_cycle`` (from the
+    :class:`~repro.verify.differential.DiffReport`) makes the initial
+    truncation free; without it the truncation is discovered by search.
+    """
+    verify = registry if registry is not None else NULL_REGISTRY
+    runs = 0
+    removed_cycles = removed_objects = removed_queries = 0
+
+    def attempt(candidate: Workload) -> bool:
+        nonlocal runs
+        if runs >= max_runs or not workload_valid(candidate):
+            return False
+        runs += 1
+        verify.inc("verify.shrink.attempts")
+        return still_fails(candidate)
+
+    current = workload.copy()
+    # 1. Truncate past the first divergence (prefix-closed replays).
+    if first_divergence_cycle is not None:
+        cut = first_divergence_cycle + 1
+        if cut < current.n_cycles:
+            candidate = current.copy()
+            candidate.cycles = candidate.cycles[:cut]
+            if candidate.digests is not None:
+                candidate.digests = candidate.digests[:cut]
+            if attempt(candidate):
+                removed_cycles += current.n_cycles - cut
+                current = candidate
+
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        # 2. Drop whole cycles, last to first (later cycles carry the
+        # least population state, so they fall off cheapest).
+        for index in range(current.n_cycles - 1, -1, -1):
+            if current.n_cycles <= 1:
+                break
+            candidate = _without_cycle(current, index)
+            if attempt(candidate):
+                current = candidate
+                removed_cycles += 1
+                improved = True
+        # 3. Drop objects.
+        for oid in _object_ids(current):
+            candidate = _without_object(current, oid)
+            if attempt(candidate):
+                current = candidate
+                removed_objects += 1
+                improved = True
+        # 4. Drop queries.
+        for hid in _query_ids(current):
+            candidate = _without_query(current, hid)
+            if attempt(candidate):
+                current = candidate
+                removed_queries += 1
+                improved = True
+
+    verify.inc("verify.shrink.completed")
+    return ShrinkResult(
+        current, runs, removed_cycles, removed_objects, removed_queries
+    )

@@ -124,6 +124,38 @@ def test_churn_matches_fresh_rebuild_200_cycles(method):
     drive_churn(method)
 
 
+def test_churn_differential_query_indexing_and_hierarchical():
+    """200-cycle churn equivalence for the remaining exact engines.
+
+    ``query_indexing`` and ``hierarchical`` run the same churn profile as
+    :func:`drive_churn` but through the differential runner: one recorded
+    workload, ``brute_force`` as the oracle, answers compared
+    ``(distance, id)``-exact every cycle.  A failure reports the first
+    divergent cycle and query instead of a bare assert."""
+    from repro.verify import churn_scenario, make_specs, run_differential
+
+    workload = churn_scenario(2005, k=K, cycles=200, lattice=LATTICE)
+    specs = make_specs(["brute_force", "query_indexing", "hierarchical"])
+    report = run_differential(workload, specs)
+    assert report.ok, "\n".join(
+        [d.describe() for d in report.divergences] + report.errors
+    )
+
+
+@pytest.mark.slow
+def test_churn_differential_all_methods_long():
+    """Nightly tier: 400 churn cycles across every exact engine at once,
+    sharded running live worker processes."""
+    from repro.verify import churn_scenario, make_specs, run_differential
+
+    workload = churn_scenario(11, k=K, cycles=400, lattice=LATTICE)
+    specs = make_specs(["all"], sharded_workers=2)
+    report = run_differential(workload, specs)
+    assert report.ok, "\n".join(
+        [d.describe() for d in report.divergences] + report.errors
+    )
+
+
 def test_churn_matches_fresh_rebuild_sharded_serial():
     drive_churn(
         "sharded",

@@ -89,9 +89,27 @@ class TestDictRoundTrip:
         with pytest.raises(ConfigurationError):
             MethodConfig.from_dict({"method": "nope"})
 
+    def test_from_dict_missing_method_lists_every_known_method(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            MethodConfig.from_dict({"ncells": 64})
+        message = str(excinfo.value)
+        assert "'method'" in message
+        for name in METHOD_CONFIGS:
+            assert name in message
+
+    def test_from_dict_unknown_method_lists_every_known_method(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            MethodConfig.from_dict({"method": "fast_gird"})
+        message = str(excinfo.value)
+        assert "'fast_gird'" in message
+        for name in METHOD_CONFIGS:
+            assert name in message
+
     def test_subclass_rejects_mismatched_method(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as excinfo:
             FastGridConfig.from_dict({"method": "rtree"})
+        message = str(excinfo.value)
+        assert "'rtree'" in message and "'fast_grid'" in message
 
     def test_resolve_config_accepts_mapping(self):
         config = resolve_config("sharded", {"method": "sharded", "workers": 2})

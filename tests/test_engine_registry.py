@@ -46,6 +46,22 @@ class TestRegistryCoverage:
         with pytest.raises(ConfigurationError, match="sharded"):
             engine_class("nope")
 
+    def test_engine_class_error_lists_every_method(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            engine_class("nope")
+        message = str(excinfo.value)
+        assert "'nope'" in message
+        for name in ENGINE_PATHS:
+            assert name in message
+
+    def test_resolve_preset_error_lists_methods_and_presets(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_preset("object_overhual", {})  # typo'd preset name
+        message = str(excinfo.value)
+        assert "'object_overhual'" in message
+        for name in list(METHOD_CONFIGS) + list(BENCH_PRESETS):
+            assert name in message
+
     def test_every_preset_targets_a_registered_method(self):
         for preset, (method, _) in BENCH_PRESETS.items():
             assert method in ENGINE_PATHS, preset

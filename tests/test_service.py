@@ -189,6 +189,65 @@ class TestBackpressure:
         with pytest.raises(ConfigurationError):
             make_session(max_pending_deltas=0)
 
+    def test_deferred_delta_readmits_exactly_once(self):
+        """A deferred join retried after tick() lands exactly once: it is
+        answerable, double-retry is a first-class error (the object is
+        live, not silently merged), and the second tick doesn't re-apply
+        it."""
+        reg = MetricsRegistry()
+        with make_session(registry=reg, max_pending_deltas=2, k=1) as s:
+            s.join_object(0, (0.1, 0.1))
+            s.join_object(1, (0.9, 0.9))
+            assert isinstance(s.join_object(2, (0.5, 0.5)), AdmissionDeferred)
+            h = s.register_query((0.5, 0.5))
+            assert isinstance(h, AdmissionDeferred)
+            s.tick()
+            assert s.join_object(2, (0.5, 0.5)) is None  # retry admits
+            h = s.register_query((0.5, 0.5))
+            assert isinstance(h, QueryHandle)
+            ans = s.tick()
+            assert ans[h].neighbors == ((2, 0.0),)
+            assert s.n_live_objects == 3
+            # Exactly once: the object is now live, so a second retry is
+            # a duplicate-join error, and further ticks keep one copy.
+            with pytest.raises(ConfigurationError):
+                s.join_object(2, (0.5, 0.5))
+            s.tick()
+            assert s.n_live_objects == 3
+            assert reg.counter(
+                "service.admission_deferred", {"kind": "object"}
+            ) == 1.0
+
+    def test_deferred_delta_readmits_across_worker_respawn(self):
+        """Backpressure + fault tolerance: a join deferred while the
+        admission set was full must re-admit exactly once even when a
+        sharded stripe worker is SIGKILLed (and respawned) in between."""
+        import os
+        import signal
+
+        with MonitoringSession(
+            "sharded",
+            k=1,
+            shards=2,
+            workers=2,
+            oversubscribe=True,
+            max_pending_deltas=2,
+        ) as s:
+            s.join_object(0, (0.1, 0.1))
+            s.join_object(1, (0.9, 0.9))
+            assert isinstance(s.join_object(2, (0.5, 0.5)), AdmissionDeferred)
+            s.tick()
+            os.kill(s.engine.worker_pids()[0], signal.SIGKILL)
+            assert s.join_object(2, (0.5, 0.5)) is None  # retry admits
+            h = s.register_query((0.5, 0.5))
+            ans = s.tick()  # pool respawns the stripe, then answers
+            assert ans[h].neighbors == ((2, 0.0),)
+            assert s.n_live_objects == 3
+            with pytest.raises(ConfigurationError):
+                s.join_object(2, (0.5, 0.5))
+            s.tick()
+            assert s.n_live_objects == 3
+
 
 class TestPositions:
     def test_move_pending_join_updates_admission_point(self):
